@@ -1,0 +1,218 @@
+package repro
+
+// Benchmark harness: one benchmark per figure in the paper's evaluation
+// (§V has Figures 1-3 and no tables) plus the extension experiments of
+// DESIGN.md §4 and microbenchmarks of the hot substrate paths. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark regenerates the full data series the paper plots;
+// EXPERIMENTS.md records the series and the paper-vs-measured comparison.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/experiment"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/olsr"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trust"
+	"repro/internal/wire"
+)
+
+// BenchmarkFig1Trustworthiness regenerates Figure 1: trust evolution over
+// 25 rounds with a sustained link-spoofing attack and 4 liars.
+func BenchmarkFig1Trustworthiness(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFig1(cfg)
+		if res.LiarFinalMax > 0.1 {
+			b.Fatalf("figure shape broken: liar final %v", res.LiarFinalMax)
+		}
+	}
+}
+
+// BenchmarkFig2ForgettingFactor regenerates Figure 2: relaxation toward
+// the 0.4 default after the attack ceases.
+func BenchmarkFig2ForgettingFactor(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFig2(cfg)
+		if !res.HighReachedDefault {
+			b.Fatal("figure shape broken: no relaxation to default")
+		}
+	}
+}
+
+// BenchmarkFig3LiarImpact regenerates Figure 3: the Eq. 8 detection value
+// per round for liar counts 1, 4 and 7 of 16 nodes.
+func BenchmarkFig3LiarImpact(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunFig3(cfg, []int{1, 4, 7})
+		for name, final := range res.Final {
+			if final > -0.7 {
+				b.Fatalf("figure shape broken: %s final %v", name, final)
+			}
+		}
+	}
+}
+
+// BenchmarkXMobilityImpact is extension X1: one packet-level run with
+// random-waypoint mobility, measuring the whole detection pipeline.
+func BenchmarkXMobilityImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunFullStack(experiment.FullStackConfig{
+			Seed:     int64(i + 1),
+			Speed:    2,
+			Duration: 2 * time.Minute,
+			AttackAt: 45 * time.Second,
+		})
+	}
+}
+
+// BenchmarkXOverhead is extension X2: control-plane and routing overhead
+// on a 16-node network with one investigation campaign.
+func BenchmarkXOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiment.RunOverheadSweep(int64(i+1), []int{16})
+		if pts[0].OLSRMessages == 0 {
+			b.Fatal("no routing traffic")
+		}
+	}
+}
+
+// BenchmarkXConfidenceInterval is extension X3: margin and
+// unrecognized-zone occupancy across confidence levels and sample sizes.
+func BenchmarkXConfidenceInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunCISweep(int64(i+1), []float64{0.90, 0.95, 0.99}, []int{5, 15, 45}, 0.26)
+	}
+}
+
+// BenchmarkXAblationUnweighted is extension X4: Eq. 8 with and without
+// trust weighting on the Fig-3 scenario.
+func BenchmarkXAblationUnweighted(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunAblation(cfg)
+		if res.FinalWeighted >= res.FinalUniform {
+			b.Fatal("ablation shape broken")
+		}
+	}
+}
+
+// BenchmarkXAblationCumulativeCI is extension X4b: the §IV-C loop under
+// cumulative versus single-round confidence intervals.
+func BenchmarkXAblationCumulativeCI(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunCIAccumulationAblation(cfg)
+		if res.CumulativeRound < 0 {
+			b.Fatal("cumulative CI never convicted")
+		}
+	}
+}
+
+// BenchmarkXBaselineAttacks is extension X5: signature detection of the
+// storm and drop baseline attacks on the packet-level stack.
+func BenchmarkXBaselineAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunBaselines(int64(i + 1))
+		if !res.StormFlagged {
+			b.Fatal("storm undetected")
+		}
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkWireEncodeHello measures the RFC 3626 HELLO codec round trip.
+func BenchmarkWireEncodeHello(b *testing.B) {
+	p := &wire.Packet{Seq: 1, Messages: []wire.Message{{
+		VTime: 6 * time.Second, Originator: addr.NodeAt(1), TTL: 1, Seq: 1,
+		Body: &wire.Hello{
+			HTime: 2 * time.Second,
+			Will:  wire.WillDefault,
+			Links: []wire.LinkBlock{{
+				Code:      wire.MakeLinkCode(wire.NeighSym, wire.LinkSym),
+				Neighbors: []addr.Node{addr.NodeAt(2), addr.NodeAt(3), addr.NodeAt(4), addr.NodeAt(5)},
+			}},
+		},
+	}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := p.Encode()
+		if _, err := wire.DecodePacket(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrustDetect measures the Eq. 8 aggregation over 15 responders.
+func BenchmarkTrustDetect(b *testing.B) {
+	obs := make([]trust.Observation, 15)
+	for i := range obs {
+		e := -1.0
+		if i%4 == 0 {
+			e = 1
+		}
+		obs[i] = trust.Observation{Source: addr.NodeAt(i + 2), Trust: 0.4, Evidence: e}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := trust.Detect(obs); !ok {
+			b.Fatal("no detect value")
+		}
+	}
+}
+
+// BenchmarkOLSRConvergence measures a 16-node OLSR network converging for
+// 30 simulated seconds (routing-table calculation dominated).
+func BenchmarkOLSRConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := sim.New(int64(i + 1))
+		medium := radio.NewMedium(sched, radio.Config{Prop: radio.UnitDisk{Range: 160}})
+		arena := geo.Arena(400, 400)
+		pts := mobility.GridPlacement(arena, 16)
+		nodes := make([]*olsr.Node, 16)
+		for j := 0; j < 16; j++ {
+			id := addr.NodeAt(j + 1)
+			n := olsr.New(olsr.Config{Addr: id}, sched, func(bs []byte) {
+				medium.Send(id, addr.Broadcast, bs)
+			}, nil)
+			pt := pts[j]
+			nodes[j] = n
+			medium.Attach(id, func() geo.Point { return pt }, func(f radio.Frame) {
+				n.HandlePacket(f.From, f.Payload)
+			})
+		}
+		for _, n := range nodes {
+			n.Start()
+		}
+		sched.RunUntil(30 * time.Second)
+		if len(nodes[0].Routes()) == 0 {
+			b.Fatal("no routes after convergence")
+		}
+	}
+}
+
+// BenchmarkSimScheduler measures raw event throughput of the kernel.
+func BenchmarkSimScheduler(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,84 @@
+// Command idsbench runs the extension experiments of DESIGN.md §4:
+//
+//	idsbench -sweep mobility    # X1: detection rate/latency vs speed
+//	idsbench -sweep size        # X2: traffic & log overhead vs #nodes
+//	idsbench -sweep ci          # X3: confidence-interval behaviour
+//	idsbench -sweep ablation    # X4: Eq. 8 with vs without trust weights
+//	idsbench -sweep baselines   # X5: storm/replay/drop signature coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sweep = flag.String("sweep", "ablation", "mobility, size, ci, ablation or baselines")
+		seed  = flag.Int64("seed", 1, "random seed")
+		runs  = flag.Int("runs", 3, "seeds per point (mobility sweep)")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "mobility":
+		seeds := make([]int64, *runs)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		pts := experiment.RunMobilitySweep(seeds, []float64{0, 1, 2, 5, 10})
+		fmt.Println("X1: detection vs mobility (random waypoint)")
+		fmt.Printf("%8s %10s %12s %14s\n", "speed", "detected", "meanDelay", "falsePositives")
+		for _, p := range pts {
+			fmt.Printf("%6.1f/s %7d/%d %12s %11d/%d\n",
+				p.Speed, p.Detected, p.Runs, p.MeanDelay, p.FalsePositives, p.Runs)
+		}
+
+	case "size":
+		pts := experiment.RunOverheadSweep(*seed, []int{8, 16, 24, 32, 48})
+		fmt.Println("X2: overhead vs network size (2 simulated minutes)")
+		fmt.Printf("%6s %10s %10s %12s %10s\n", "nodes", "olsrMsgs", "ctrlMsgs", "ctrl/node", "logRecs")
+		for _, p := range pts {
+			fmt.Printf("%6d %10d %10d %12.1f %10d\n",
+				p.Nodes, p.OLSRMessages, p.CtrlMessages, p.CtrlPerNode, p.LogRecords)
+		}
+
+	case "ci":
+		fmt.Println("X3: confidence interval (liar fraction 26%)")
+		fmt.Printf("%6s %4s %10s %14s %12s\n", "cl", "n", "margin", "unrecognized", "meanDetect")
+		pts := experiment.RunCISweep(*seed, []float64{0.90, 0.95, 0.99}, []int{5, 15, 45, 135}, 0.26)
+		for _, p := range pts {
+			fmt.Printf("%6.2f %4d %10.4f %13.0f%% %12.3f\n",
+				p.Level, p.N, p.Margin, 100*p.UnrecognizedFrac, p.MeanDetect)
+		}
+
+	case "ablation":
+		cfg := experiment.DefaultConfig()
+		cfg.Seed = *seed
+		res := experiment.RunAblation(cfg)
+		fmt.Print(res.Table.Render())
+		fmt.Printf("\nfinal: trust-weighted %.3f vs uniform %.3f\n", res.FinalWeighted, res.FinalUniform)
+		fmt.Println("(the trust weighting is what drives Detect toward -1 as liars lose standing)")
+
+	case "baselines":
+		res := experiment.RunBaselines(*seed)
+		fmt.Println("X5: baseline attack signature coverage")
+		fmt.Printf("  broadcast storm flagged: %v\n", res.StormFlagged)
+		fmt.Printf("  replay flagged:          %v\n", res.ReplayFlagged)
+		fmt.Printf("  black-hole trust damage: %.3f below default\n", res.DropTrustDamage)
+
+	default:
+		return fmt.Errorf("unknown -sweep %q", *sweep)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command manetsim runs the full packet-level simulation: an OLSR network
+// over a simulated radio, an optional attacker, and the victim's
+// log-based intrusion detector with trusted cooperative investigations.
+//
+//	manetsim                                 # 16 static nodes, phantom spoof
+//	manetsim -attack claim -speed 2          # claim spoof, 2 m/s waypoint
+//	manetsim -attack none -duration 2m      # honest network
+//
+// It prints a detection report: signature alerts, investigation rounds,
+// the final verdict, and traffic statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "manetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		nodes    = flag.Int("nodes", 16, "population size")
+		speed    = flag.Float64("speed", 0, "max node speed in m/s (0 = static)")
+		duration = flag.Duration("duration", 4*time.Minute, "simulated time")
+		attackAt = flag.Duration("attack-at", time.Minute, "when the attack starts")
+		attackS  = flag.String("attack", "phantom", "attack: phantom, claim, omit or none")
+		liars    = flag.Int("liars", 0, "colluding liars answering investigations falsely")
+	)
+	flag.Parse()
+
+	var mode attack.SpoofMode
+	switch *attackS {
+	case "phantom":
+		mode = attack.SpoofPhantom
+	case "claim":
+		mode = attack.SpoofClaim
+	case "omit":
+		mode = attack.SpoofOmit
+	case "none":
+		mode = 0
+	default:
+		return fmt.Errorf("unknown -attack %q", *attackS)
+	}
+
+	cfg := experiment.FullStackConfig{
+		Seed:     *seed,
+		Nodes:    *nodes,
+		Speed:    *speed,
+		Duration: *duration,
+		AttackAt: *attackAt,
+		Liars:    *liars,
+	}
+	if mode != 0 {
+		cfg.SpoofMode = mode
+	} else {
+		// No attack: push the spoof activation beyond the run.
+		cfg.AttackAt = *duration + time.Hour
+	}
+
+	fmt.Printf("manetsim: %d nodes, speed %.1f m/s, attack=%s at %s, %d liars, seed %d\n",
+		*nodes, *speed, *attackS, *attackAt, *liars, *seed)
+	res := experiment.RunFullStack(cfg)
+	fmt.Println()
+	fmt.Println("== detection report ==")
+	fmt.Printf("  convicted:        %v\n", res.Convicted)
+	if res.Convicted {
+		fmt.Printf("  detection delay:  %s after attack start\n", res.DetectionDelay)
+	}
+	fmt.Printf("  signature alerts: %d\n", res.Alerts)
+	fmt.Printf("  investigations:   %d rounds\n", res.Investigations)
+	fmt.Printf("  spoofer trust:    %.3f (default 0.4)\n", res.FinalSpooferTru)
+	fmt.Println("== traffic ==")
+	fmt.Printf("  OLSR frames:      %d\n", res.OLSRMessages)
+	fmt.Printf("  control frames:   %d\n", res.CtrlMessages)
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command trustlab regenerates the data series behind the paper's
+// evaluation figures (§V):
+//
+//	trustlab -figure 1          # Fig 1: trustworthiness under attack
+//	trustlab -figure 2          # Fig 2: forgetting-factor relaxation
+//	trustlab -figure 3          # Fig 3: impact of liars on detection
+//	trustlab -figure all -csv   # everything, as CSV
+//
+// The output is the per-round data the paper plots, plus the shape checks
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trustlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
+		seed   = flag.Int64("seed", 1, "random seed")
+		nodes  = flag.Int("nodes", 16, "population size (paper: 16)")
+		liars  = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
+		rounds = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
+		loss   = flag.Float64("loss", 0.1, "probability an answer is lost")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Nodes = *nodes
+	cfg.Liars = *liars
+	cfg.Rounds = *rounds
+	cfg.NonAnswerProb = *loss
+
+	render := func(t *metrics.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Render())
+		}
+		fmt.Println()
+	}
+
+	want := func(f string) bool { return *figure == "all" || *figure == f }
+	ran := false
+
+	if want("1") {
+		ran = true
+		res := experiment.RunFig1(cfg)
+		render(res.Table)
+		fmt.Printf("shape: liar final max = %.3f (paper: near 0 regardless of initial trust)\n",
+			res.LiarFinalMax)
+		fmt.Printf("shape: honest trust monotone ascending = %v\n", res.HonestMonotone)
+		fmt.Printf("shape: lowest-initial honest node %.2f -> %.2f (paper: \"gains a little\")\n\n",
+			res.HonestLowGain.Initial, res.HonestLowGain.Final)
+	}
+	if want("2") {
+		ran = true
+		res := experiment.RunFig2(cfg)
+		render(res.Table)
+		fmt.Printf("shape: high/medium initial reached the %.1f default = %v\n",
+			cfg.Params.Default, res.HighReachedDefault)
+		fmt.Printf("shape: low initial still below default = %v (paper: \"recovered slowly\")\n\n",
+			res.LowStillBelow)
+	}
+	if want("3") {
+		ran = true
+		res := experiment.RunFig3(cfg, []int{1, 4, 7})
+		render(res.Table)
+		names := make([]string, 0, len(res.Final))
+		for name := range res.Final {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("shape: %s reached -0.4 at round %d, final %.3f (paper: <=10, ~-0.8)\n",
+				name, res.RoundToMinus04[name], res.Final[name])
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown -figure %q (want 1, 2, 3 or all)", *figure)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package addr defines node identifiers shared by every layer of the
+// simulated MANET stack.
+//
+// A Node is the OLSR "main address" of a device. The simulator renders it as
+// an IPv4-style dotted quad in the 10.0.0.0/16 range, matching the addressing
+// used by the paper's testbed logs.
+package addr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node identifies a device by its OLSR main address.
+type Node uint32
+
+// Broadcast is the link-local broadcast destination. It is never a valid
+// node main address.
+const Broadcast Node = 0xffffffff
+
+// None is the zero Node; it is never assigned to a device.
+const None Node = 0
+
+// NodeAt returns the i-th node address (1-based host part) in the simulated
+// 10.0.0.0/16 subnet. NodeAt(1) == 10.0.0.1.
+func NodeAt(i int) Node {
+	return Node(0x0a000000 + uint32(i)) //nolint:gosec // simulated subnet, small i
+}
+
+// Index returns the 1-based host index for an address produced by NodeAt.
+func (n Node) Index() int {
+	return int(uint32(n) - 0x0a000000)
+}
+
+// String renders the address as a dotted quad, or "*" for Broadcast.
+func (n Node) String() string {
+	if n == Broadcast {
+		return "*"
+	}
+	v := uint32(n)
+	var b strings.Builder
+	b.Grow(15)
+	b.WriteString(strconv.Itoa(int(v >> 24)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(v >> 16 & 0xff)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(v >> 8 & 0xff)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(v & 0xff)))
+	return b.String()
+}
+
+// Parse converts a dotted-quad string (or "*") back into a Node.
+func Parse(s string) (Node, error) {
+	if s == "*" {
+		return Broadcast, nil
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return None, fmt.Errorf("addr: %q is not a dotted quad", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.Atoi(p)
+		if err != nil || o < 0 || o > 255 {
+			return None, fmt.Errorf("addr: bad octet %q in %q", p, s)
+		}
+		v = v<<8 | uint32(o) //nolint:gosec // bounded 0..255
+	}
+	return Node(v), nil
+}
+
+// Set is an unordered collection of nodes.
+type Set map[Node]struct{}
+
+// NewSet builds a Set from the given nodes.
+func NewSet(nodes ...Node) Set {
+	s := make(Set, len(nodes))
+	for _, n := range nodes {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts n into the set.
+func (s Set) Add(n Node) { s[n] = struct{}{} }
+
+// Remove deletes n from the set.
+func (s Set) Remove(n Node) { delete(s, n) }
+
+// Has reports whether n is in the set.
+func (s Set) Has(n Node) bool {
+	_, ok := s[n]
+	return ok
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for n := range s {
+		c[n] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether both sets contain exactly the same nodes.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for n := range s {
+		if !o.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set with the members of both sets.
+func (s Set) Union(o Set) Set {
+	u := s.Clone()
+	for n := range o {
+		u[n] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns a new set with the members common to both sets.
+func (s Set) Intersect(o Set) Set {
+	r := make(Set)
+	for n := range s {
+		if o.Has(n) {
+			r[n] = struct{}{}
+		}
+	}
+	return r
+}
+
+// Diff returns the members of s that are not in o.
+func (s Set) Diff(o Set) Set {
+	r := make(Set)
+	for n := range s {
+		if !o.Has(n) {
+			r[n] = struct{}{}
+		}
+	}
+	return r
+}
+
+// Sorted returns the members in ascending address order.
+func (s Set) Sorted() []Node {
+	out := make([]Node, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set as a bracketed, sorted, comma-separated list.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, n := range s.Sorted() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

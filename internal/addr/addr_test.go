@@ -1,0 +1,175 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeString(t *testing.T) {
+	tests := []struct {
+		name string
+		node Node
+		want string
+	}{
+		{"first", NodeAt(1), "10.0.0.1"},
+		{"wraps octet", NodeAt(300), "10.0.1.44"},
+		{"broadcast", Broadcast, "*"},
+		{"zero", None, "0.0.0.0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.node.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNodeIndexRoundTrip(t *testing.T) {
+	for _, i := range []int{1, 2, 16, 255, 1000} {
+		if got := NodeAt(i).Index(); got != i {
+			t.Errorf("NodeAt(%d).Index() = %d", i, got)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Node
+		wantErr bool
+	}{
+		{"10.0.0.1", NodeAt(1), false},
+		{"*", Broadcast, false},
+		{"0.0.0.0", None, false},
+		{"10.0.0", None, true},
+		{"10.0.0.256", None, true},
+		{"10.0.0.x", None, true},
+		{"", None, true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		n := Node(v)
+		if n == Broadcast {
+			return true
+		}
+		back, err := Parse(n.String())
+		return err == nil && back == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(NodeAt(1), NodeAt(2))
+	if !s.Has(NodeAt(1)) || !s.Has(NodeAt(2)) || s.Has(NodeAt(3)) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s.Add(NodeAt(3))
+	if !s.Has(NodeAt(3)) {
+		t.Fatal("Add failed")
+	}
+	s.Remove(NodeAt(1))
+	if s.Has(NodeAt(1)) {
+		t.Fatal("Remove failed")
+	}
+	if len(s) != 2 {
+		t.Fatalf("len = %d, want 2", len(s))
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := NewSet(NodeAt(1))
+	c := s.Clone()
+	c.Add(NodeAt(2))
+	if s.Has(NodeAt(2)) {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(NodeAt(1), NodeAt(2), NodeAt(3))
+	b := NewSet(NodeAt(2), NodeAt(3), NodeAt(4))
+
+	if got := a.Intersect(b); !got.Equal(NewSet(NodeAt(2), NodeAt(3))) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(NewSet(NodeAt(1), NodeAt(2), NodeAt(3), NodeAt(4))) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(NewSet(NodeAt(1))) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := b.Diff(a); !got.Equal(NewSet(NodeAt(4))) {
+		t.Errorf("Diff = %v", got)
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(NodeAt(1), NodeAt(2))
+	if !a.Equal(NewSet(NodeAt(2), NodeAt(1))) {
+		t.Error("Equal should ignore order")
+	}
+	if a.Equal(NewSet(NodeAt(1))) {
+		t.Error("Equal must compare sizes")
+	}
+	if a.Equal(NewSet(NodeAt(1), NodeAt(3))) {
+		t.Error("Equal must compare members")
+	}
+}
+
+func TestSetSortedAndString(t *testing.T) {
+	s := NewSet(NodeAt(3), NodeAt(1), NodeAt(2))
+	got := s.Sorted()
+	want := []Node{NodeAt(1), NodeAt(2), NodeAt(3)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted() = %v, want %v", got, want)
+		}
+	}
+	if str := s.String(); str != "[10.0.0.1,10.0.0.2,10.0.0.3]" {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(bits uint8) Set {
+		s := make(Set)
+		for i := 0; i < 8; i++ {
+			if bits&(1<<i) != 0 {
+				s.Add(NodeAt(i + 1))
+			}
+		}
+		return s
+	}
+	f := func(x, y uint8) bool {
+		a, b := mk(x), mk(y)
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		// |A ∪ B| + |A ∩ B| == |A| + |B|
+		if len(union)+len(inter) != len(a)+len(b) {
+			return false
+		}
+		// A \ B and A ∩ B partition A.
+		if got := a.Diff(b).Union(inter); !got.Equal(a) {
+			return false
+		}
+		return inter.Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package attack implements the adversarial behaviors of the paper: the
+// three link-spoofing variants of §III-A (Expressions 1–3), the drop
+// attacks (black hole, gray hole), the broadcast storm and replay attacks
+// of §II-B, and the lying colluders of §V that foil investigations with
+// incorrect answers.
+//
+// Routing-level attacks install themselves on an OLSR node through its
+// Hooks; the Liar operates at the investigation layer.
+package attack
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/olsr"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// SpoofMode selects one of the paper's three link-spoofing variants.
+type SpoofMode int
+
+// Spoofing variants (paper §III-A).
+const (
+	// SpoofPhantom declares a non-existing node as a symmetric neighbor
+	// (Expression 1): guarantees the attacker is selected as MPR.
+	SpoofPhantom SpoofMode = iota + 1
+	// SpoofClaim declares an existing node as a symmetric neighbor even
+	// though it is not (Expression 2): inflates connectivity, typically to
+	// provision a black hole.
+	SpoofClaim
+	// SpoofOmit omits an existing symmetric neighbor (Expression 3):
+	// artificially lowers the victim's and the attacker's connectivity.
+	SpoofOmit
+)
+
+// String implements fmt.Stringer.
+func (m SpoofMode) String() string {
+	switch m {
+	case SpoofPhantom:
+		return "phantom-neighbor"
+	case SpoofClaim:
+		return "claimed-non-neighbor"
+	case SpoofOmit:
+		return "omitted-neighbor"
+	default:
+		return "unknown"
+	}
+}
+
+// LinkSpoofer forges the symmetric-neighbor set in outgoing HELLOs.
+type LinkSpoofer struct {
+	Mode SpoofMode
+	// Target is the address the spoof is about: the phantom address
+	// (SpoofPhantom), the claimed non-neighbor (SpoofClaim) or the
+	// omitted real neighbor (SpoofOmit).
+	Target addr.Node
+	// Active gates the attack; nil means always active. Experiments use
+	// it to cease the attack mid-run (Fig. 2).
+	Active func() bool
+
+	spoofed uint64
+}
+
+// Spoofed returns how many HELLOs were forged.
+func (s *LinkSpoofer) Spoofed() uint64 { return s.spoofed }
+
+// Hook returns the ModifyHello hook implementing the configured variant.
+func (s *LinkSpoofer) Hook() func(*wire.Hello) {
+	return func(h *wire.Hello) {
+		if s.Active != nil && !s.Active() {
+			return
+		}
+		s.spoofed++
+		switch s.Mode {
+		case SpoofPhantom, SpoofClaim:
+			// Both insert a forged symmetric link; they differ only in
+			// whether Target exists in the network.
+			h.Links = append(h.Links, wire.LinkBlock{
+				Code:      wire.MakeLinkCode(wire.NeighSym, wire.LinkSym),
+				Neighbors: []addr.Node{s.Target},
+			})
+		case SpoofOmit:
+			for i := range h.Links {
+				kept := h.Links[i].Neighbors[:0]
+				for _, n := range h.Links[i].Neighbors {
+					if n != s.Target {
+						kept = append(kept, n)
+					}
+				}
+				h.Links[i].Neighbors = kept
+			}
+			// Drop now-empty blocks.
+			blocks := h.Links[:0]
+			for _, lb := range h.Links {
+				if len(lb.Neighbors) > 0 {
+					blocks = append(blocks, lb)
+				}
+			}
+			h.Links = blocks
+		}
+	}
+}
+
+// Install registers the spoofer on a node.
+func (s *LinkSpoofer) Install(n *olsr.Node) {
+	n.SetHooks(olsr.Hooks{ModifyHello: s.Hook()})
+}
+
+// BlackHole drops every message the node should forward as an MPR.
+type BlackHole struct {
+	dropped uint64
+}
+
+// Dropped returns how many forwards were suppressed.
+func (b *BlackHole) Dropped() uint64 { return b.dropped }
+
+// Install registers the black hole on a node.
+func (b *BlackHole) Install(n *olsr.Node) {
+	n.SetHooks(olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+		b.dropped++
+		return true
+	}})
+}
+
+// GrayHole drops a configurable fraction of the messages it should
+// forward — the selective variant of the drop attack.
+type GrayHole struct {
+	// Ratio in [0,1] of forwards to drop.
+	Ratio float64
+	// Rand supplies the drop decisions; required.
+	Rand *rand.Rand
+
+	dropped, relayed uint64
+}
+
+// Dropped and Relayed report the gray hole's split.
+func (g *GrayHole) Dropped() uint64 { return g.dropped }
+
+// Relayed returns how many forwards were allowed through.
+func (g *GrayHole) Relayed() uint64 { return g.relayed }
+
+// Install registers the gray hole on a node.
+func (g *GrayHole) Install(n *olsr.Node) {
+	n.SetHooks(olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+		if g.Rand.Float64() < g.Ratio {
+			g.dropped++
+			return true
+		}
+		g.relayed++
+		return false
+	}})
+}
+
+// Storm floods forged TC messages at a configurable rate, optionally
+// masquerading as another node (§II-B: the storm is "typically coupled
+// with a masquerade").
+type Storm struct {
+	// Spoof is the originator address written into the forged messages
+	// (the masqueraded victim); use the attacker's own address for an
+	// overt storm.
+	Spoof addr.Node
+	// Interval between forged messages.
+	Interval time.Duration
+	// Advertised is the neighbor set the forged TCs claim.
+	Advertised []addr.Node
+
+	seq    uint16
+	ansn   uint16
+	sent   uint64
+	ticker *sim.Ticker
+}
+
+// Sent returns the number of forged messages emitted.
+func (s *Storm) Sent() uint64 { return s.sent }
+
+// Start begins flooding through send (a one-hop broadcast of an encoded
+// packet). Stop the returned ticker to end the storm.
+func (s *Storm) Start(sched *sim.Scheduler, send func([]byte)) *sim.Ticker {
+	s.ticker = sched.Every(0, s.Interval, 0.1, func() {
+		s.seq += 7 // stride to avoid colliding with the victim's own seq
+		s.ansn++
+		p := &wire.Packet{Seq: s.seq, Messages: []wire.Message{{
+			VTime:      15 * time.Second,
+			Originator: s.Spoof,
+			TTL:        255,
+			Seq:        s.seq,
+			Body:       &wire.TC{ANSN: s.ansn, Advertised: s.Advertised},
+		}}}
+		send(p.Encode())
+		s.sent++
+	})
+	return s.ticker
+}
+
+// Replayer records flooded messages and re-emits them after a delay,
+// reproducing the §II-B replay attack (stale routing information is
+// re-injected; sequence numbers make receivers log stale drops).
+type Replayer struct {
+	// Delay before a captured packet is replayed.
+	Delay time.Duration
+	// Copies of each capture to replay.
+	Copies int
+
+	replayed uint64
+}
+
+// Replayed returns how many packets were re-emitted.
+func (r *Replayer) Replayed() uint64 { return r.replayed }
+
+// Capture schedules the replay of one raw packet.
+func (r *Replayer) Capture(sched *sim.Scheduler, send func([]byte), raw []byte) {
+	copies := r.Copies
+	if copies <= 0 {
+		copies = 1
+	}
+	buf := make([]byte, len(raw))
+	copy(buf, raw)
+	for i := 1; i <= copies; i++ {
+		sched.After(r.Delay*time.Duration(i), func() {
+			send(buf)
+			r.replayed++
+		})
+	}
+}
+
+// Liar answers link-verification requests falsely to foil investigations
+// (the colluding misbehaving nodes of §V). It does not itself spoof links.
+type Liar struct {
+	// Protect limits the lying to requests about these suspects; nil
+	// means lie about everyone.
+	Protect addr.Set
+
+	lies, truths uint64
+}
+
+// Lies returns how many answers were inverted.
+func (l *Liar) Lies() uint64 { return l.lies }
+
+// Truths returns how many answers were left honest.
+func (l *Liar) Truths() uint64 { return l.truths }
+
+// Mutate inverts an investigation answer when the request concerns a
+// protected suspect.
+func (l *Liar) Mutate(suspect addr.Node, linkExists bool, known bool) (bool, bool) {
+	if l.Protect != nil && !l.Protect.Has(suspect) {
+		l.truths++
+		return linkExists, known
+	}
+	l.lies++
+	return !linkExists, true
+}

@@ -1,0 +1,243 @@
+// Package auditlog implements the routing audit log that the intrusion
+// detector consumes.
+//
+// The paper's central implementation choice (§III) is that the detector
+// does not sniff packets: it parses the logs already produced by the
+// routing daemon. This package provides the structured record type, a
+// text codec equivalent to a routing daemon's log lines, and an
+// append-only buffer with cursors so a detector can incrementally read
+// "what happened since I last looked".
+package auditlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// Kind classifies a log record. The set mirrors what an OLSR daemon logs
+// about its own activity (message rx/tx/forward, table changes).
+type Kind string
+
+// Record kinds emitted by the OLSR implementation.
+const (
+	KindHelloTx      Kind = "HELLO_TX"
+	KindHelloRx      Kind = "HELLO_RX"
+	KindTCTx         Kind = "TC_TX"
+	KindTCRx         Kind = "TC_RX"
+	KindTCFwd        Kind = "TC_FWD"
+	KindMsgDrop      Kind = "MSG_DROP"
+	KindNeighborUp   Kind = "NEIGHBOR_UP"
+	KindNeighborDown Kind = "NEIGHBOR_DOWN"
+	KindTwoHopUp     Kind = "TWOHOP_UP"
+	KindTwoHopDown   Kind = "TWOHOP_DOWN"
+	KindMPRSet       Kind = "MPR_SET"
+	KindMPRSelector  Kind = "MPR_SELECTOR"
+	KindBadPacket    Kind = "BAD_PACKET"
+)
+
+// Field is one key=value pair of a record. Values must not contain spaces;
+// lists are comma-separated.
+type Field struct {
+	Key, Value string
+}
+
+// F builds a plain string field.
+func F(key, value string) Field { return Field{Key: key, Value: value} }
+
+// FNode builds a field holding one node address.
+func FNode(key string, n addr.Node) Field { return Field{Key: key, Value: n.String()} }
+
+// FNodes builds a field holding a comma-separated node list in the given
+// order (callers sort for determinism).
+func FNodes(key string, nodes []addr.Node) Field {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = n.String()
+	}
+	return Field{Key: key, Value: strings.Join(parts, ",")}
+}
+
+// FInt builds an integer field.
+func FInt(key string, v int) Field { return Field{Key: key, Value: strconv.Itoa(v)} }
+
+// Record is one audit log entry.
+type Record struct {
+	T      time.Duration // virtual time of the event
+	Node   addr.Node     // the node whose daemon logged it
+	Kind   Kind
+	Fields []Field
+}
+
+// Get returns the value of the first field with the given key.
+func (r *Record) Get(key string) (string, bool) {
+	for _, f := range r.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// NodeField parses the named field as a single address.
+func (r *Record) NodeField(key string) (addr.Node, error) {
+	v, ok := r.Get(key)
+	if !ok {
+		return addr.None, fmt.Errorf("auditlog: record %s has no field %q", r.Kind, key)
+	}
+	return addr.Parse(v)
+}
+
+// NodesField parses the named field as a comma-separated address list. A
+// missing or empty field yields an empty list.
+func (r *Record) NodesField(key string) ([]addr.Node, error) {
+	v, ok := r.Get(key)
+	if !ok || v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]addr.Node, 0, len(parts))
+	for _, p := range parts {
+		n, err := addr.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("auditlog: field %q: %w", key, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// IntField parses the named field as an integer.
+func (r *Record) IntField(key string) (int, error) {
+	v, ok := r.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("auditlog: record %s has no field %q", r.Kind, key)
+	}
+	return strconv.Atoi(v)
+}
+
+// String renders the record as one log line:
+//
+//	t=2.000s node=10.0.0.1 kind=HELLO_RX from=10.0.0.2 sym=10.0.0.3,10.0.0.4
+func (r *Record) String() string {
+	var b strings.Builder
+	b.WriteString("t=")
+	b.WriteString(strconv.FormatFloat(r.T.Seconds(), 'f', 3, 64))
+	b.WriteString("s node=")
+	b.WriteString(r.Node.String())
+	b.WriteString(" kind=")
+	b.WriteString(string(r.Kind))
+	for _, f := range r.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(f.Value)
+	}
+	return b.String()
+}
+
+// ParseLine inverts Record.String.
+func ParseLine(line string) (Record, error) {
+	var r Record
+	for i, tok := range strings.Fields(line) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Record{}, fmt.Errorf("auditlog: token %q is not key=value", tok)
+		}
+		switch {
+		case i == 0 && k == "t":
+			secs, err := strconv.ParseFloat(strings.TrimSuffix(v, "s"), 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("auditlog: bad time %q: %w", v, err)
+			}
+			r.T = time.Duration(secs * float64(time.Second))
+		case k == "node" && r.Node == addr.None:
+			n, err := addr.Parse(v)
+			if err != nil {
+				return Record{}, err
+			}
+			r.Node = n
+		case k == "kind" && r.Kind == "":
+			r.Kind = Kind(v)
+		default:
+			r.Fields = append(r.Fields, Field{Key: k, Value: v})
+		}
+	}
+	if r.Kind == "" {
+		return Record{}, fmt.Errorf("auditlog: line %q has no kind", line)
+	}
+	return r, nil
+}
+
+// Buffer is an append-only log with stable sequence numbers, so multiple
+// cursors can read it independently. With MaxLen > 0 it becomes a ring: the
+// oldest records are discarded but sequence numbers keep increasing, which
+// lets cursors detect loss.
+type Buffer struct {
+	MaxLen int // 0 = unbounded
+
+	recs []Record
+	base uint64 // sequence number of recs[0]
+}
+
+// Append adds a record.
+func (b *Buffer) Append(r Record) {
+	b.recs = append(b.recs, r)
+	if b.MaxLen > 0 && len(b.recs) > b.MaxLen {
+		drop := len(b.recs) - b.MaxLen
+		b.recs = append(b.recs[:0], b.recs[drop:]...)
+		b.base += uint64(drop) //nolint:gosec // drop >= 0
+	}
+}
+
+// Len returns the number of retained records.
+func (b *Buffer) Len() int { return len(b.recs) }
+
+// NextSeq returns the sequence number the next appended record will get.
+func (b *Buffer) NextSeq() uint64 { return b.base + uint64(len(b.recs)) }
+
+// Since returns records with sequence numbers >= seq and the sequence
+// number to pass next time. Records older than the retention window are
+// silently skipped.
+func (b *Buffer) Since(seq uint64) ([]Record, uint64) {
+	if seq < b.base {
+		seq = b.base
+	}
+	start := int(seq - b.base) //nolint:gosec // bounded by len
+	if start >= len(b.recs) {
+		return nil, b.NextSeq()
+	}
+	out := make([]Record, len(b.recs)-start)
+	copy(out, b.recs[start:])
+	return out, b.NextSeq()
+}
+
+// Dump renders every retained record, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for i := range b.recs {
+		sb.WriteString(b.recs[i].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Cursor incrementally reads a Buffer.
+type Cursor struct {
+	buf  *Buffer
+	next uint64
+}
+
+// NewCursor returns a cursor positioned at the start of the buffer's
+// retained history.
+func NewCursor(b *Buffer) *Cursor { return &Cursor{buf: b, next: b.base} }
+
+// Read returns the records appended since the previous Read.
+func (c *Cursor) Read() []Record {
+	recs, next := c.buf.Since(c.next)
+	c.next = next
+	return recs
+}

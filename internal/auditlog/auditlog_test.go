@@ -1,0 +1,191 @@
+package auditlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+func sample() Record {
+	return Record{
+		T:    2500 * time.Millisecond,
+		Node: addr.NodeAt(1),
+		Kind: KindHelloRx,
+		Fields: []Field{
+			FNode("from", addr.NodeAt(2)),
+			FNodes("sym", []addr.Node{addr.NodeAt(3), addr.NodeAt(4)}),
+			FInt("will", 3),
+		},
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := sample()
+	got := r.String()
+	want := "t=2.500s node=10.0.0.1 kind=HELLO_RX from=10.0.0.2 sym=10.0.0.3,10.0.0.4 will=3"
+	if got != want {
+		t.Errorf("String() =\n  %q\nwant\n  %q", got, want)
+	}
+}
+
+func TestParseLineRoundTrip(t *testing.T) {
+	r := sample()
+	got, err := ParseLine(r.String())
+	if err != nil {
+		t.Fatalf("ParseLine: %v", err)
+	}
+	if got.T != r.T || got.Node != r.Node || got.Kind != r.Kind {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Fields) != len(r.Fields) {
+		t.Fatalf("fields = %+v", got.Fields)
+	}
+	for i := range r.Fields {
+		if got.Fields[i] != r.Fields[i] {
+			t.Errorf("field %d = %+v, want %+v", i, got.Fields[i], r.Fields[i])
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"",                           // no kind
+		"t=1.0s node=10.0.0.1",       // still no kind
+		"t=abc node=10.0.0.1 kind=X", // bad time
+		"t=1.0s node=nope kind=X",    // bad node
+		"justaword",                  // not key=value
+	} {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	r := sample()
+	if v, ok := r.Get("from"); !ok || v != "10.0.0.2" {
+		t.Errorf("Get(from) = %q, %v", v, ok)
+	}
+	if _, ok := r.Get("absent"); ok {
+		t.Error("Get(absent) found something")
+	}
+	n, err := r.NodeField("from")
+	if err != nil || n != addr.NodeAt(2) {
+		t.Errorf("NodeField = %v, %v", n, err)
+	}
+	if _, err := r.NodeField("absent"); err == nil {
+		t.Error("NodeField(absent) no error")
+	}
+	ns, err := r.NodesField("sym")
+	if err != nil || len(ns) != 2 || ns[0] != addr.NodeAt(3) {
+		t.Errorf("NodesField = %v, %v", ns, err)
+	}
+	if ns, err := r.NodesField("absent"); err != nil || ns != nil {
+		t.Errorf("NodesField(absent) = %v, %v", ns, err)
+	}
+	i, err := r.IntField("will")
+	if err != nil || i != 3 {
+		t.Errorf("IntField = %d, %v", i, err)
+	}
+	if _, err := r.IntField("from"); err == nil {
+		t.Error("IntField(from) parsed an address")
+	}
+}
+
+func TestNodesFieldBadValue(t *testing.T) {
+	r := Record{Kind: KindHelloRx, Fields: []Field{F("sym", "10.0.0.1,garbage")}}
+	if _, err := r.NodesField("sym"); err == nil {
+		t.Error("bad list parsed")
+	}
+}
+
+func TestBufferAppendAndSince(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 5; i++ {
+		b.Append(Record{Kind: KindHelloTx, Fields: []Field{FInt("i", i)}})
+	}
+	recs, next := b.Since(0)
+	if len(recs) != 5 || next != 5 {
+		t.Fatalf("Since(0) = %d recs, next %d", len(recs), next)
+	}
+	recs, next = b.Since(3)
+	if len(recs) != 2 || next != 5 {
+		t.Fatalf("Since(3) = %d recs, next %d", len(recs), next)
+	}
+	recs, _ = b.Since(99)
+	if len(recs) != 0 {
+		t.Fatalf("Since(99) = %d recs", len(recs))
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	b := Buffer{MaxLen: 3}
+	for i := 0; i < 10; i++ {
+		b.Append(Record{Kind: KindHelloTx, Fields: []Field{FInt("i", i)}})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	recs, next := b.Since(0)
+	if len(recs) != 3 || next != 10 {
+		t.Fatalf("Since(0) after wrap = %d recs, next %d", len(recs), next)
+	}
+	if v, _ := recs[0].IntField("i"); v != 7 {
+		t.Errorf("oldest retained = %d, want 7", v)
+	}
+}
+
+func TestCursor(t *testing.T) {
+	var b Buffer
+	c := NewCursor(&b)
+	if got := c.Read(); len(got) != 0 {
+		t.Fatalf("empty read = %d", len(got))
+	}
+	b.Append(Record{Kind: KindHelloTx})
+	b.Append(Record{Kind: KindTCTx})
+	if got := c.Read(); len(got) != 2 {
+		t.Fatalf("first read = %d, want 2", len(got))
+	}
+	if got := c.Read(); len(got) != 0 {
+		t.Fatalf("re-read = %d, want 0", len(got))
+	}
+	b.Append(Record{Kind: KindTCFwd})
+	got := c.Read()
+	if len(got) != 1 || got[0].Kind != KindTCFwd {
+		t.Fatalf("incremental read = %+v", got)
+	}
+}
+
+func TestTwoCursorsIndependent(t *testing.T) {
+	var b Buffer
+	b.Append(Record{Kind: KindHelloTx})
+	c1, c2 := NewCursor(&b), NewCursor(&b)
+	if len(c1.Read()) != 1 {
+		t.Fatal("c1 missed record")
+	}
+	b.Append(Record{Kind: KindTCTx})
+	if len(c2.Read()) != 2 {
+		t.Fatal("c2 should see both records")
+	}
+	if len(c1.Read()) != 1 {
+		t.Fatal("c1 should see only the new record")
+	}
+}
+
+func TestDump(t *testing.T) {
+	var b Buffer
+	b.Append(sample())
+	b.Append(sample())
+	d := b.Dump()
+	if strings.Count(d, "\n") != 2 {
+		t.Errorf("Dump = %q", d)
+	}
+	// Every dumped line must parse back.
+	for _, line := range strings.Split(strings.TrimSpace(d), "\n") {
+		if _, err := ParseLine(line); err != nil {
+			t.Errorf("line %q does not parse: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package auditlog
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// FuzzParseLine: the log parser must never panic, and any line it accepts
+// must render back to a line it accepts again (idempotent round trip).
+// Log parsing is the IDS's input boundary.
+func FuzzParseLine(f *testing.F) {
+	r := Record{
+		T: 2500 * time.Millisecond, Node: addr.NodeAt(1), Kind: KindHelloRx,
+		Fields: []Field{
+			FNode("from", addr.NodeAt(2)),
+			FNodes("sym", []addr.Node{addr.NodeAt(3), addr.NodeAt(4)}),
+		},
+	}
+	f.Add(r.String())
+	f.Add("t=0.000s node=10.0.0.1 kind=MPR_SET added= removed= mprs=")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("t=abc node=1 kind=")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseLine(rec.String())
+		if err != nil {
+			t.Fatalf("accepted record does not re-parse: %v", err)
+		}
+		if again.Kind != rec.Kind || again.Node != rec.Node || len(again.Fields) != len(rec.Fields) {
+			t.Fatalf("round trip changed the record: %+v vs %+v", again, rec)
+		}
+	})
+}

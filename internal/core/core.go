@@ -1,0 +1,246 @@
+// Package core assembles the full system: OLSR routers over the simulated
+// wireless medium, per-node audit logs, intrusion detectors, investigation
+// responders, and the control plane that carries verification requests and
+// replies across multiple hops while routing around suspects (§III-C).
+//
+// This is the packet-level counterpart of the paper's testbed: everything
+// the round-based experiments of §V abstract away — HELLO/TC traffic, MPR
+// churn, message loss, multi-hop forwarding of investigation traffic — is
+// concrete here.
+package core
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/attack"
+	"repro/internal/auditlog"
+	"repro/internal/detect"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/olsr"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trust"
+)
+
+// Frame payload discriminators: the first byte of every radio payload
+// says whether it carries an OLSR packet or a control-plane message.
+const (
+	payloadOLSR byte = 1
+	payloadCtrl byte = 2
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	Seed int64
+	// Radio is the medium configuration (zero value: 250m unit disk).
+	Radio radio.Config
+	// LogCap bounds each node's audit log (0 = unbounded).
+	LogCap int
+	// CtrlTTL bounds control-plane forwarding (default 16 hops).
+	CtrlTTL int
+}
+
+// Network is a complete simulated MANET.
+type Network struct {
+	Sched  *sim.Scheduler
+	Medium *radio.Medium
+
+	cfg   Config
+	nodes map[addr.Node]*Node
+	order []addr.Node
+
+	ctrlSent, ctrlDelivered, ctrlDropped uint64
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.CtrlTTL <= 0 {
+		cfg.CtrlTTL = 16
+	}
+	sched := sim.New(cfg.Seed)
+	return &Network{
+		Sched:  sched,
+		Medium: radio.NewMedium(sched, cfg.Radio),
+		cfg:    cfg,
+		nodes:  make(map[addr.Node]*Node),
+	}
+}
+
+// NodeSpec describes one node to add.
+type NodeSpec struct {
+	ID addr.Node
+	// Pos is the node's mobility model (default: static at the origin).
+	Pos mobility.Model
+	// OLSR overrides protocol timers; the Addr field is set from ID.
+	OLSR olsr.Config
+	// Detector enables an intrusion detector with this configuration
+	// (Self is set from ID). Nil disables detection on the node.
+	Detector *detect.Config
+	// Spoofer, when set, installs a link-spoofing behavior.
+	Spoofer *attack.LinkSpoofer
+	// Hooks installs raw OLSR hooks (black/gray hole); ignored when
+	// Spoofer is set.
+	Hooks *olsr.Hooks
+	// Liar, when set, makes the node answer investigations falsely.
+	Liar *attack.Liar
+	// DropControl makes the node silently discard control-plane messages
+	// it would otherwise relay (a suspect dropping investigation traffic —
+	// the reason Algorithm 1 routes around it).
+	DropControl bool
+	// TrustParams overrides the trust constants for this node's detector.
+	TrustParams *trust.Params
+	// AutoExclude enables the response action: a node this detector
+	// convicts is banned from the local MPR selection (and re-admitted if
+	// a later verdict clears it) — the paper's "trustworthiness is used
+	// to guide the decision making", as CAP-OLSR does.
+	AutoExclude bool
+}
+
+// Node is one device: router, log, detector, responder.
+type Node struct {
+	ID        addr.Node
+	Router    *olsr.Node
+	Logs      *auditlog.Buffer
+	Detector  *detect.Detector // nil if not detecting
+	Responder *detect.Responder
+	Trust     *trust.Store // nil if not detecting
+	Liar      *attack.Liar
+	Spoofer   *attack.LinkSpoofer
+
+	net         *Network
+	pos         mobility.Model
+	dropControl bool
+}
+
+// AddNode instantiates and wires a node; call before Start.
+func (w *Network) AddNode(spec NodeSpec) *Node {
+	id := spec.ID
+	logs := &auditlog.Buffer{MaxLen: w.cfg.LogCap}
+
+	olsrCfg := spec.OLSR
+	olsrCfg.Addr = id
+	router := olsr.New(olsrCfg, w.Sched, func(b []byte) {
+		w.Medium.Send(id, addr.Broadcast, append([]byte{payloadOLSR}, b...))
+	}, logs)
+
+	n := &Node{
+		ID:          id,
+		Router:      router,
+		Logs:        logs,
+		net:         w,
+		pos:         spec.Pos,
+		Liar:        spec.Liar,
+		Spoofer:     spec.Spoofer,
+		dropControl: spec.DropControl,
+	}
+	if n.pos == nil {
+		n.pos = mobility.Static{}
+	}
+
+	switch {
+	case spec.Spoofer != nil:
+		spec.Spoofer.Install(router)
+	case spec.Hooks != nil:
+		router.SetHooks(*spec.Hooks)
+	}
+
+	n.Responder = &detect.Responder{Self: id, Router: router}
+	if spec.Liar != nil {
+		n.Responder.Liar = spec.Liar.Mutate
+	}
+
+	if spec.Detector != nil {
+		params := trust.DefaultParams()
+		if spec.TrustParams != nil {
+			params = *spec.TrustParams
+		}
+		n.Trust = trust.NewStore(params)
+		dcfg := *spec.Detector
+		dcfg.Self = id
+		if spec.AutoExclude {
+			userReport := dcfg.OnReport
+			dcfg.OnReport = func(r detect.Report) {
+				switch r.Verdict {
+				case trust.Intruder:
+					router.Exclude(r.Suspect, true)
+				case trust.WellBehaving:
+					router.Exclude(r.Suspect, false)
+				}
+				if userReport != nil {
+					userReport(r)
+				}
+			}
+		}
+		n.Detector = detect.NewDetector(dcfg, w.Sched, router, logs, &nodeTransport{node: n}, n.Trust)
+	}
+
+	w.Medium.Attach(id,
+		func() geo.Point { return n.pos.Position(w.Sched.Now()) },
+		n.handleFrame,
+	)
+	w.nodes[id] = n
+	w.order = append(w.order, id)
+	return n
+}
+
+// Node returns the node with the given id, or nil.
+func (w *Network) Node(id addr.Node) *Node { return w.nodes[id] }
+
+// Nodes returns the node ids in insertion order.
+func (w *Network) Nodes() []addr.Node {
+	out := make([]addr.Node, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// AllIDs returns the membership set (the paper's set N), usable as the
+// detectors' KnownNodes.
+func (w *Network) AllIDs() addr.Set {
+	s := make(addr.Set, len(w.order))
+	for _, id := range w.order {
+		s.Add(id)
+	}
+	return s
+}
+
+// Start launches every router and detector.
+func (w *Network) Start() {
+	for _, id := range w.order {
+		n := w.nodes[id]
+		n.Router.Start()
+		if n.Detector != nil {
+			n.Detector.Start()
+		}
+	}
+}
+
+// RunFor advances virtual time by d.
+func (w *Network) RunFor(d time.Duration) {
+	w.Sched.RunUntil(w.Sched.Now() + d)
+}
+
+// handleFrame dispatches a received radio frame by payload discriminator.
+func (n *Node) handleFrame(f radio.Frame) {
+	if len(f.Payload) < 1 {
+		return
+	}
+	body := f.Payload[1:]
+	switch f.Payload[0] {
+	case payloadOLSR:
+		n.Router.HandlePacket(f.From, body)
+	case payloadCtrl:
+		n.handleCtrl(body)
+	}
+}
+
+// CtrlStats reports control-plane counters (for the overhead experiment).
+type CtrlStats struct {
+	Sent, Delivered, Dropped uint64
+}
+
+// CtrlStats returns the control-plane counters.
+func (w *Network) CtrlStats() CtrlStats {
+	return CtrlStats{Sent: w.ctrlSent, Delivered: w.ctrlDelivered, Dropped: w.ctrlDropped}
+}

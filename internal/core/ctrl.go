@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/addr"
+	"repro/internal/detect"
+)
+
+// ctrlKind discriminates control-plane message types.
+type ctrlKind string
+
+const (
+	ctrlVerifyReq ctrlKind = "verify_req"
+	ctrlVerifyRep ctrlKind = "verify_rep"
+)
+
+// ctrlMsg is the control-plane envelope, forwarded hop by hop using each
+// relay's OLSR routing table, avoiding the nodes listed in Avoid.
+type ctrlMsg struct {
+	Kind  ctrlKind              `json:"kind"`
+	From  addr.Node             `json:"from"`
+	To    addr.Node             `json:"to"`
+	TTL   int                   `json:"ttl"`
+	Avoid []addr.Node           `json:"avoid,omitempty"`
+	Req   *detect.VerifyRequest `json:"req,omitempty"`
+	Rep   *detect.VerifyReply   `json:"rep,omitempty"`
+}
+
+// nodeTransport implements detect.Transport for one node.
+type nodeTransport struct {
+	node *Node
+}
+
+var _ detect.Transport = (*nodeTransport)(nil)
+
+// SendVerify implements detect.Transport.
+func (t *nodeTransport) SendVerify(req detect.VerifyRequest) {
+	r := req
+	t.node.sendCtrl(&ctrlMsg{
+		Kind:  ctrlVerifyReq,
+		From:  t.node.ID,
+		To:    req.Responder,
+		TTL:   t.node.net.cfg.CtrlTTL,
+		Avoid: req.Avoid,
+		Req:   &r,
+	})
+}
+
+// sendCtrl originates or forwards a control message from this node.
+func (n *Node) sendCtrl(m *ctrlMsg) {
+	n.net.ctrlSent++
+	n.forwardCtrl(m)
+}
+
+// forwardCtrl picks the next hop toward m.To, honoring the avoidance list
+// of Algorithm 1: prefer the normal route; if its next hop must be
+// avoided, try another symmetric neighbor that covers the destination;
+// finally any symmetric neighbor advertising a path (multi-hop detour).
+// With no usable hop the message is dropped — the investigator's timeout
+// turns that into evidence 0 ("not verified"), the paper's E3 situation.
+func (n *Node) forwardCtrl(m *ctrlMsg) {
+	if m.To == n.ID {
+		n.deliverCtrl(m)
+		return
+	}
+	if m.TTL <= 0 {
+		n.net.ctrlDropped++
+		return
+	}
+	m.TTL--
+
+	avoid := addr.NewSet(m.Avoid...)
+	next := addr.None
+
+	// Direct neighbor?
+	if n.Router.IsSymNeighbor(m.To) && !avoid.Has(m.To) {
+		next = m.To
+	}
+	// Normal route, if its next hop is allowed.
+	if next == addr.None {
+		if r, ok := n.Router.RouteTo(m.To); ok && !avoid.Has(r.NextHop) {
+			next = r.NextHop
+		}
+	}
+	// Any other symmetric neighbor that covers the destination (an
+	// alternative MPR in the paper's terms).
+	if next == addr.None {
+		for _, nb := range n.Router.SymNeighbors().Sorted() {
+			if avoid.Has(nb) || nb == m.From {
+				continue
+			}
+			if n.Router.CoverOf(nb).Has(m.To) {
+				next = nb
+				break
+			}
+		}
+	}
+	if next == addr.None {
+		n.net.ctrlDropped++
+		return
+	}
+
+	raw, err := json.Marshal(m)
+	if err != nil {
+		n.net.ctrlDropped++
+		return
+	}
+	n.net.Medium.Send(n.ID, next, append([]byte{payloadCtrl}, raw...))
+}
+
+// handleCtrl processes a received control payload: deliver locally or
+// relay onward. A misbehaving relay may silently discard it.
+func (n *Node) handleCtrl(body []byte) {
+	var m ctrlMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		n.net.ctrlDropped++
+		return
+	}
+	if m.To != n.ID && n.dropControl {
+		// The suspect (or a colluder) swallowing investigation traffic —
+		// exactly what the Avoid list exists to prevent.
+		n.net.ctrlDropped++
+		return
+	}
+	n.forwardCtrl(&m)
+}
+
+// deliverCtrl hands a control message to its local consumer.
+func (n *Node) deliverCtrl(m *ctrlMsg) {
+	switch m.Kind {
+	case ctrlVerifyReq:
+		if m.Req == nil {
+			return
+		}
+		n.net.ctrlDelivered++
+		rep := n.Responder.Answer(*m.Req)
+		n.sendCtrl(&ctrlMsg{
+			Kind:  ctrlVerifyRep,
+			From:  n.ID,
+			To:    m.Req.Investigator,
+			TTL:   n.net.cfg.CtrlTTL,
+			Avoid: m.Avoid,
+			Rep:   &rep,
+		})
+	case ctrlVerifyRep:
+		if m.Rep == nil || n.Detector == nil {
+			return
+		}
+		n.net.ctrlDelivered++
+		n.Detector.HandleReply(*m.Rep)
+	}
+}

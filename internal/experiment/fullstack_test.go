@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trust"
+)
+
+func TestRunFullStackStaticDetects(t *testing.T) {
+	r := RunFullStack(FullStackConfig{
+		Seed:     1,
+		Duration: 3 * time.Minute,
+		AttackAt: 45 * time.Second,
+	})
+	if !r.Convicted {
+		t.Fatalf("static full-stack run did not convict: %s", r)
+	}
+	if r.DetectionDelay <= 0 || r.DetectionDelay > 2*time.Minute {
+		t.Errorf("detection delay = %v", r.DetectionDelay)
+	}
+	if r.FinalSpooferTru >= 0.4 {
+		t.Errorf("spoofer trust = %v", r.FinalSpooferTru)
+	}
+	if r.CtrlMessages == 0 {
+		t.Error("no control traffic despite investigations")
+	}
+	if r.OLSRMessages == 0 {
+		t.Error("no OLSR traffic")
+	}
+}
+
+func TestRunFullStackWithLiars(t *testing.T) {
+	r := RunFullStack(FullStackConfig{
+		Seed:     3,
+		Duration: 4 * time.Minute,
+		AttackAt: 45 * time.Second,
+		Liars:    3,
+	})
+	if !r.Convicted {
+		t.Fatalf("liar run did not convict: %s", r)
+	}
+}
+
+func TestRunOverheadSweepGrows(t *testing.T) {
+	pts := RunOverheadSweep(1, []int{8, 16})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].OLSRMessages <= pts[0].OLSRMessages {
+		t.Errorf("OLSR traffic did not grow with size: %+v", pts)
+	}
+	if pts[0].LogRecords == 0 || pts[1].LogRecords == 0 {
+		t.Error("no log records collected")
+	}
+	tab := OverheadTable(pts)
+	if tab.Rows() != 2 {
+		t.Errorf("table rows = %d", tab.Rows())
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	r := RunBaselines(1)
+	if !r.StormFlagged {
+		t.Error("broadcast storm not flagged")
+	}
+	if !r.ReplayFlagged {
+		t.Error("replay not flagged")
+	}
+	if r.DropTrustDamage <= 0 {
+		t.Errorf("black hole caused no trust damage: %+v", r)
+	}
+}
+
+func TestRunCISweep(t *testing.T) {
+	pts := RunCISweep(1, []float64{0.90, 0.99}, []int{5, 15, 45}, 0.25)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	// Margin shrinks with n within one confidence level.
+	byLevel := map[float64][]CIPoint{}
+	for _, p := range pts {
+		byLevel[p.Level] = append(byLevel[p.Level], p)
+	}
+	for cl, ps := range byLevel {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Margin >= ps[i-1].Margin {
+				t.Errorf("cl=%v: margin did not shrink with n: %+v", cl, ps)
+			}
+		}
+	}
+	// Higher confidence level → wider margin at equal n.
+	if byLevel[0.99][0].Margin <= byLevel[0.90][0].Margin {
+		t.Error("margin not wider at higher confidence level")
+	}
+	if tab := CISweepTable(pts); tab.Rows() == 0 {
+		t.Error("empty CI sweep table")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Liars = 4
+	res := RunAblation(cfg)
+	// The trust-weighted system must converge much deeper than uniform
+	// weighting, which stays pinned at the raw majority ratio.
+	if res.FinalWeighted >= res.FinalUniform {
+		t.Errorf("weighted %v not better than uniform %v", res.FinalWeighted, res.FinalUniform)
+	}
+	if res.FinalWeighted > -0.75 {
+		t.Errorf("weighted final = %v, want <= -0.75", res.FinalWeighted)
+	}
+	if res.FinalUniform < -0.75 {
+		t.Errorf("uniform final = %v; uniform weighting should not converge", res.FinalUniform)
+	}
+}
+
+func TestMobilitySweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mobility sweep is slow")
+	}
+	pts := RunMobilitySweep([]int64{1}, []float64{0})
+	if len(pts) != 1 || pts[0].Runs != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].Detected != 1 {
+		t.Errorf("static run not detected: %+v", pts)
+	}
+	if tab := MobilityTable(pts); tab.Rows() != 1 {
+		t.Errorf("table rows = %d", tab.Rows())
+	}
+}
+
+func TestFullStackResultString(t *testing.T) {
+	r := &FullStackResult{Convicted: true, DetectionDelay: 5 * time.Second}
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+	_ = trust.DefaultParams()
+}

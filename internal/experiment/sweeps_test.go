@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+func TestCIAccumulationAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Liars = 4
+	res := RunCIAccumulationAblation(cfg)
+
+	if res.CumulativeRound < 0 {
+		t.Fatal("cumulative CI never convicted within 25 rounds")
+	}
+	// The cumulative policy must resolve no later than the single-round
+	// policy (when the latter resolves at all).
+	if res.SingleRound >= 0 && res.CumulativeRound > res.SingleRound {
+		t.Errorf("cumulative (round %d) slower than single-round (round %d)",
+			res.CumulativeRound, res.SingleRound)
+	}
+}
+
+func TestCIAccumulationDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := RunCIAccumulationAblation(cfg)
+	b := RunCIAccumulationAblation(cfg)
+	if a != b {
+		t.Errorf("nondeterministic ablation: %+v vs %+v", a, b)
+	}
+}

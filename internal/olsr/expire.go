@@ -1,0 +1,108 @@
+package olsr
+
+import (
+	"repro/internal/auditlog"
+)
+
+// expire is the periodic housekeeping pass: it drops every tuple whose
+// validity time has elapsed and then re-derives MPRs and routes.
+func (n *Node) expire() {
+	now := n.now()
+	changed := false
+
+	for x, lt := range n.links {
+		if lt.until <= now && lt.asymUntil <= now && lt.symUntil <= now {
+			delete(n.links, x)
+			delete(n.twoHop, x)
+			delete(n.lastHelloSym, x)
+			changed = true
+		}
+	}
+	for via, cover := range n.twoHop {
+		for b, until := range cover {
+			if until <= now {
+				delete(cover, b)
+				n.log(auditlog.KindTwoHopDown,
+					auditlog.FNode("via", via), auditlog.FNode("twohop", b))
+				changed = true
+			}
+		}
+		if len(cover) == 0 {
+			delete(n.twoHop, via)
+		}
+	}
+	for x, until := range n.selectors {
+		if until <= now {
+			delete(n.selectors, x)
+			n.ansn++
+			n.log(auditlog.KindMPRSelector,
+				auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+		}
+	}
+	for last, e := range n.topo {
+		for d, until := range e.dests {
+			if until <= now {
+				delete(e.dests, d)
+				changed = true
+			}
+		}
+		if len(e.dests) == 0 {
+			delete(n.topo, last)
+		}
+	}
+	for k, d := range n.dups {
+		if d.until <= now {
+			delete(n.dups, k)
+		}
+	}
+	for iface, until := range n.midUntil {
+		if until <= now {
+			delete(n.midUntil, iface)
+			delete(n.midAssoc, iface)
+		}
+	}
+	for nw, until := range n.hnaUntil {
+		if until <= now {
+			delete(n.hnaUntil, nw)
+			delete(n.hnaRoutes, nw)
+		}
+	}
+
+	if changed {
+		n.afterTopologyChange()
+	}
+}
+
+// afterTopologyChange re-derives everything that depends on the link,
+// 2-hop and topology sets: the symmetric neighborhood (logging up/down
+// diffs), the MPR set (logging changes — the detector's E1 trigger), and
+// the routing table.
+func (n *Node) afterTopologyChange() {
+	sym := n.SymNeighbors()
+	if !sym.Equal(n.prevSym) {
+		for _, x := range sym.Diff(n.prevSym).Sorted() {
+			n.log(auditlog.KindNeighborUp, auditlog.FNode("neighbor", x))
+		}
+		for _, x := range n.prevSym.Diff(sym).Sorted() {
+			n.log(auditlog.KindNeighborDown, auditlog.FNode("neighbor", x))
+		}
+		n.prevSym = sym
+	}
+
+	mprs := n.selectMPRs()
+	if !mprs.Equal(n.mprs) {
+		added := mprs.Diff(n.mprs)
+		removed := n.mprs.Diff(mprs)
+		n.mprs = mprs
+		n.log(auditlog.KindMPRSet,
+			auditlog.FNodes("added", added.Sorted()),
+			auditlog.FNodes("removed", removed.Sorted()),
+			auditlog.FNodes("mprs", mprs.Sorted()))
+	}
+
+	n.routes = n.calculateRoutes()
+}
+
+// ForceRecalculate re-derives MPRs and routes immediately; tests use it to
+// observe state between timer ticks.
+func (n *Node) ForceRecalculate() { n.afterTopologyChange() }

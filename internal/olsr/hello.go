@@ -1,0 +1,174 @@
+package olsr
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/auditlog"
+	"repro/internal/wire"
+)
+
+// buildHello assembles the HELLO body from the current link set: MPR
+// neighbors, other symmetric neighbors, and heard-but-asymmetric links
+// (which drive the RFC's implicit 3-way handshake to symmetry).
+func (n *Node) buildHello() *wire.Hello {
+	now := n.now()
+	var mprN, symN, asymN, lostN []addr.Node
+	for x, lt := range n.links {
+		switch {
+		case lt.symUntil > now && n.mprs.Has(x):
+			mprN = append(mprN, x)
+		case lt.symUntil > now:
+			symN = append(symN, x)
+		case lt.asymUntil > now:
+			asymN = append(asymN, x)
+		case lt.until > now:
+			lostN = append(lostN, x)
+		}
+	}
+	h := &wire.Hello{HTime: n.cfg.HelloInterval, Will: n.cfg.Willingness}
+	add := func(code wire.LinkCode, nodes []addr.Node) {
+		if len(nodes) == 0 {
+			return
+		}
+		h.Links = append(h.Links, wire.LinkBlock{Code: code, Neighbors: addr.NewSet(nodes...).Sorted()})
+	}
+	add(wire.MakeLinkCode(wire.NeighMPR, wire.LinkSym), mprN)
+	add(wire.MakeLinkCode(wire.NeighSym, wire.LinkSym), symN)
+	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkAsym), asymN)
+	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkLost), lostN)
+	return h
+}
+
+// sendHello emits one HELLO, applying the ModifyHello hook (the link
+// spoofing injection point) first.
+func (n *Node) sendHello() {
+	h := n.buildHello()
+	if n.hooks.ModifyHello != nil {
+		n.hooks.ModifyHello(h)
+	}
+	n.helloTx++
+	n.log(auditlog.KindHelloTx,
+		auditlog.FNodes("sym", h.SymNeighbors().Sorted()),
+		auditlog.FInt("will", int(h.Will)))
+	n.broadcast(wire.Message{
+		VTime:      n.cfg.NeighborHold,
+		Originator: n.cfg.Addr,
+		TTL:        1,
+		Seq:        n.nextMsgSeq(),
+		Body:       h,
+	})
+}
+
+// processHello implements RFC 3626 §7.1/§8.1/§8.2: link sensing, neighbor
+// and 2-hop set population, and MPR-selector tracking.
+func (n *Node) processHello(m *wire.Message, h *wire.Hello) {
+	from := m.Originator
+	now := n.now()
+	vuntil := now + m.VTime
+
+	lt, ok := n.links[from]
+	if !ok {
+		lt = &linkTuple{}
+		n.links[from] = lt
+	}
+	lt.asymUntil = vuntil
+	lt.will = h.Will
+
+	// Did the sender hear us? Scan every link block for our own address.
+	heard, lost := false, false
+	for _, lb := range h.Links {
+		_, linkType := lb.Code.Split()
+		for _, x := range lb.Neighbors {
+			if x != n.cfg.Addr {
+				continue
+			}
+			if linkType == wire.LinkLost {
+				lost = true
+			} else {
+				heard = true
+			}
+		}
+	}
+	switch {
+	case heard:
+		lt.symUntil = vuntil
+	case lost:
+		lt.symUntil = 0
+	}
+	if lt.until < lt.asymUntil {
+		lt.until = lt.asymUntil
+	}
+	if lt.until < lt.symUntil {
+		lt.until = lt.symUntil
+	}
+
+	advertised := h.SymNeighbors()
+	n.lastHelloSym[from] = advertised
+
+	// 2-hop set: only populated through symmetric neighbors.
+	if lt.symUntil > now {
+		cover := n.twoHop[from]
+		if cover == nil {
+			cover = make(map[addr.Node]time.Duration)
+			n.twoHop[from] = cover
+		}
+		for _, lb := range h.Links {
+			nt, _ := lb.Code.Split()
+			for _, b := range lb.Neighbors {
+				if b == n.cfg.Addr {
+					continue
+				}
+				switch nt {
+				case wire.NeighSym, wire.NeighMPR:
+					if old, exists := cover[b]; !exists || old <= now {
+						n.log(auditlog.KindTwoHopUp,
+							auditlog.FNode("via", from), auditlog.FNode("twohop", b))
+					}
+					cover[b] = vuntil
+				case wire.NeighNot:
+					if old, exists := cover[b]; exists && old > now {
+						n.log(auditlog.KindTwoHopDown,
+							auditlog.FNode("via", from), auditlog.FNode("twohop", b))
+					}
+					delete(cover, b)
+				}
+			}
+		}
+	}
+
+	// MPR selector set: the sender listed us with neighbor type MPR.
+	selectedUs := false
+	for _, lb := range h.Links {
+		nt, _ := lb.Code.Split()
+		if nt != wire.NeighMPR {
+			continue
+		}
+		for _, x := range lb.Neighbors {
+			if x == n.cfg.Addr {
+				selectedUs = true
+			}
+		}
+	}
+	_, wasSelector := n.selectors[from]
+	if selectedUs {
+		n.selectors[from] = vuntil
+		if !wasSelector {
+			n.ansn++
+			n.log(auditlog.KindMPRSelector,
+				auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+		}
+	} else if wasSelector {
+		delete(n.selectors, from)
+		n.ansn++
+		n.log(auditlog.KindMPRSelector,
+			auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+	}
+
+	n.log(auditlog.KindHelloRx,
+		auditlog.FNode("from", from),
+		auditlog.FNodes("sym", advertised.Sorted()),
+		auditlog.FInt("will", int(h.Will)))
+
+	n.afterTopologyChange()
+}

@@ -1,0 +1,115 @@
+package olsr
+
+import (
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// selectMPRs implements the RFC 3626 §8.3.1 heuristic: cover every strict
+// 2-hop neighbor with the smallest greedy set of willing symmetric
+// neighbors. Ties break deterministically (willingness, then reachability,
+// then degree, then lowest address) so identical inputs always produce the
+// same MPR set — a requirement for reproducible experiments.
+func (n *Node) selectMPRs() addr.Set {
+	now := n.now()
+	sym := n.SymNeighbors()
+
+	// N: willing symmetric neighbors; candidates for MPR. Convicted nodes
+	// (response action) are treated like WILL_NEVER: never entrusted with
+	// relaying.
+	candidates := make([]addr.Node, 0, len(sym))
+	for x := range sym {
+		if n.links[x].will != wire.WillNever && !n.excluded.Has(x) {
+			candidates = append(candidates, x)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	// N2: strict 2-hop neighbors, with the candidate set covering each.
+	covers := make(map[addr.Node][]addr.Node) // 2-hop node -> covering candidates
+	reach := make(map[addr.Node]int)          // candidate -> |N2 coverage|
+	for _, via := range candidates {
+		for b, until := range n.twoHop[via] {
+			if until <= now || b == n.cfg.Addr || sym.Has(b) {
+				continue
+			}
+			covers[b] = append(covers[b], via)
+			reach[via]++
+		}
+	}
+
+	mprs := make(addr.Set)
+	uncovered := make(addr.Set)
+	for b := range covers {
+		uncovered.Add(b)
+	}
+
+	markCovered := func(m addr.Node) {
+		for b, until := range n.twoHop[m] {
+			if until > now {
+				uncovered.Remove(b)
+			}
+		}
+	}
+
+	// Step 1: WILL_ALWAYS neighbors are always MPRs.
+	for _, x := range candidates {
+		if n.links[x].will == wire.WillAlways {
+			mprs.Add(x)
+			markCovered(x)
+		}
+	}
+	// Step 2: neighbors that are the sole cover of some 2-hop node.
+	for _, b := range uncovered.Sorted() {
+		if cs := covers[b]; len(cs) == 1 && !mprs.Has(cs[0]) {
+			mprs.Add(cs[0])
+			markCovered(cs[0])
+		}
+	}
+	// Step 3: greedy max-coverage until all of N2 is covered.
+	for len(uncovered) > 0 {
+		best := addr.None
+		bestCount := -1
+		for _, x := range candidates {
+			if mprs.Has(x) {
+				continue
+			}
+			count := 0
+			for b, until := range n.twoHop[x] {
+				if until > now && uncovered.Has(b) {
+					count++
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			if best == addr.None || betterMPR(n, x, count, best, bestCount, reach) {
+				best, bestCount = x, count
+			}
+		}
+		if best == addr.None {
+			break // remaining 2-hop nodes are unreachable via willing neighbors
+		}
+		mprs.Add(best)
+		markCovered(best)
+	}
+	return mprs
+}
+
+// betterMPR reports whether candidate x (covering count uncovered nodes)
+// beats the current best per the RFC tie-break order.
+func betterMPR(n *Node, x addr.Node, count int, best addr.Node, bestCount int, reach map[addr.Node]int) bool {
+	if count != bestCount {
+		return count > bestCount
+	}
+	wx, wb := n.links[x].will, n.links[best].will
+	if wx != wb {
+		return wx > wb
+	}
+	if reach[x] != reach[best] {
+		return reach[x] > reach[best]
+	}
+	return x < best
+}

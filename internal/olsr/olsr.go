@@ -1,0 +1,535 @@
+// Package olsr implements the core of the Optimized Link State Routing
+// protocol (RFC 3626): link sensing and neighbor detection through HELLO
+// messages, MPR selection, topology diffusion through TC messages with the
+// default forwarding algorithm, and shortest-path routing-table
+// calculation. MID and HNA messages are supported for multi-interface and
+// gateway declarations.
+//
+// Every externally observable action is recorded in an audit-log buffer;
+// the intrusion detection layer consumes only those logs, never the
+// protocol state directly (the paper's "no change to the routing protocol"
+// property — the read-only accessors exist for tests and for answering
+// investigation requests about the node's *own* links).
+//
+// Attack behaviors are injected through Hooks, mirroring how the paper's
+// authors "purposely developed" a link spoofing attack against an
+// otherwise-unmodified routing daemon.
+package olsr
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/auditlog"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one OLSR node. Zero fields take RFC 3626 §18.2
+// defaults.
+type Config struct {
+	Addr addr.Node // main address, required
+
+	HelloInterval time.Duration // default 2s
+	TCInterval    time.Duration // default 5s
+	MIDInterval   time.Duration // default 5s; used only with ExtraInterfaces
+	NeighborHold  time.Duration // default 3 * HelloInterval
+	TopologyHold  time.Duration // default 3 * TCInterval
+	DuplicateHold time.Duration // default 30s
+	ExpiryTick    time.Duration // housekeeping period, default 500ms
+	Jitter        float64       // emission jitter fraction, default 0.25
+
+	// Willingness defaults to WillDefault. Because WillNever's wire value
+	// is zero, expressing it requires WillingnessSet.
+	Willingness    wire.Willingness
+	WillingnessSet bool
+
+	// ExtraInterfaces are announced in MID messages.
+	ExtraInterfaces []addr.Node
+	// ExternalNetworks are announced in HNA messages.
+	ExternalNetworks []wire.HNANetwork
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = 2 * time.Second
+	}
+	if c.TCInterval <= 0 {
+		c.TCInterval = 5 * time.Second
+	}
+	if c.MIDInterval <= 0 {
+		c.MIDInterval = 5 * time.Second
+	}
+	if c.NeighborHold <= 0 {
+		c.NeighborHold = 3 * c.HelloInterval
+	}
+	if c.TopologyHold <= 0 {
+		c.TopologyHold = 3 * c.TCInterval
+	}
+	if c.DuplicateHold <= 0 {
+		c.DuplicateHold = 30 * time.Second
+	}
+	if c.ExpiryTick <= 0 {
+		c.ExpiryTick = 500 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.25
+	}
+	if !c.WillingnessSet && c.Willingness == 0 {
+		c.Willingness = wire.WillDefault
+	}
+	return c
+}
+
+// Hooks let a behavior (an attack implementation) manipulate the node's
+// control traffic. Nil hooks are ignored.
+type Hooks struct {
+	// ModifyHello rewrites the HELLO body just before emission — the link
+	// spoofing attack surface (paper §III-A).
+	ModifyHello func(h *wire.Hello)
+	// ModifyTC rewrites TC bodies the node originates.
+	ModifyTC func(t *wire.TC)
+	// DropForward, when returning true, silently suppresses the relaying
+	// of a message the node should forward as an MPR (black/gray hole).
+	DropForward func(m *wire.Message, sender addr.Node) bool
+}
+
+// Route is one routing-table entry.
+type Route struct {
+	Dest    addr.Node
+	NextHop addr.Node
+	Hops    int
+}
+
+// linkTuple is the RFC 3626 §4.2.1 link tuple (single interface).
+type linkTuple struct {
+	symUntil  time.Duration // L_SYM_time
+	asymUntil time.Duration // L_ASYM_time
+	until     time.Duration // L_time
+	will      wire.Willingness
+}
+
+// topoEntry aggregates the topology tuples learned from one TC originator.
+type topoEntry struct {
+	ansn  uint16
+	dests map[addr.Node]time.Duration // advertised neighbor -> expiry
+}
+
+type dupKey struct {
+	orig addr.Node
+	seq  uint16
+}
+
+// dupTuple tracks one flooded message per RFC 3626 §3.4: whether its body
+// was already processed and whether it was already retransmitted. The two
+// are independent — a copy can arrive first via a path that forbids
+// forwarding and later via one that allows it.
+type dupTuple struct {
+	until         time.Duration
+	processed     bool
+	retransmitted bool
+}
+
+// Node is one OLSR routing agent.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler
+	send  func(payload []byte) // one-hop broadcast
+	logb  *auditlog.Buffer     // may be nil
+	hooks Hooks
+
+	links        map[addr.Node]*linkTuple
+	twoHop       map[addr.Node]map[addr.Node]time.Duration // via -> node -> expiry
+	mprs         addr.Set
+	selectors    map[addr.Node]time.Duration
+	topo         map[addr.Node]*topoEntry
+	dups         map[dupKey]*dupTuple
+	midAssoc     map[addr.Node]addr.Node           // interface -> main address
+	midUntil     map[addr.Node]time.Duration       // interface -> expiry
+	hnaRoutes    map[wire.HNANetwork]addr.Node     // network -> gateway
+	hnaUntil     map[wire.HNANetwork]time.Duration // network -> expiry
+	lastHelloSym map[addr.Node]addr.Set            // neighbor -> last advertised sym set
+	routes       map[addr.Node]Route
+
+	prevSym addr.Set // for NEIGHBOR_UP/DOWN diffs
+
+	excluded addr.Set // nodes banned from MPR selection (response action)
+
+	ansn    uint16
+	msgSeq  uint16
+	pktSeq  uint16
+	started bool
+	tickers []*sim.Ticker
+
+	// Stats for the overhead experiments.
+	helloTx, tcTx, tcFwd, msgRx, msgDrop uint64
+}
+
+// New creates an OLSR node. send transmits an encoded packet as a one-hop
+// broadcast; logb (optional) receives the audit log.
+func New(cfg Config, sched *sim.Scheduler, send func([]byte), logb *auditlog.Buffer) *Node {
+	return &Node{
+		cfg:          cfg.withDefaults(),
+		sched:        sched,
+		send:         send,
+		logb:         logb,
+		links:        make(map[addr.Node]*linkTuple),
+		twoHop:       make(map[addr.Node]map[addr.Node]time.Duration),
+		mprs:         make(addr.Set),
+		selectors:    make(map[addr.Node]time.Duration),
+		topo:         make(map[addr.Node]*topoEntry),
+		dups:         make(map[dupKey]*dupTuple),
+		midAssoc:     make(map[addr.Node]addr.Node),
+		midUntil:     make(map[addr.Node]time.Duration),
+		hnaRoutes:    make(map[wire.HNANetwork]addr.Node),
+		hnaUntil:     make(map[wire.HNANetwork]time.Duration),
+		lastHelloSym: make(map[addr.Node]addr.Set),
+		routes:       make(map[addr.Node]Route),
+		prevSym:      make(addr.Set),
+		excluded:     make(addr.Set),
+	}
+}
+
+// Exclude bans (or, with banned=false, re-admits) a node from this node's
+// MPR selection — the response action the trust system drives once a
+// neighbor is convicted (the paper's "trustworthiness is used to guide the
+// decision making"; CAP-OLSR applies the same exclusion). The node remains
+// a routable neighbor; it just stops being entrusted with relaying.
+func (n *Node) Exclude(x addr.Node, banned bool) {
+	if banned {
+		n.excluded.Add(x)
+	} else {
+		n.excluded.Remove(x)
+	}
+	n.afterTopologyChange()
+}
+
+// Excluded returns the currently banned nodes.
+func (n *Node) Excluded() addr.Set { return n.excluded.Clone() }
+
+// Addr returns the node's main address.
+func (n *Node) Addr() addr.Node { return n.cfg.Addr }
+
+// Config returns the node's effective (defaulted) configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetHooks installs attack hooks. Must be called before Start.
+func (n *Node) SetHooks(h Hooks) { n.hooks = h }
+
+// Start registers the node's emission and housekeeping timers.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	c := n.cfg
+	n.tickers = append(n.tickers,
+		n.sched.Every(0, c.HelloInterval, c.Jitter, n.sendHello),
+		n.sched.Every(c.HelloInterval/2, c.TCInterval, c.Jitter, n.sendTC),
+		n.sched.Every(c.ExpiryTick, c.ExpiryTick, 0, n.expire),
+	)
+	if len(c.ExtraInterfaces) > 0 {
+		n.tickers = append(n.tickers, n.sched.Every(c.MIDInterval/3, c.MIDInterval, c.Jitter, n.sendMID))
+	}
+	if len(c.ExternalNetworks) > 0 {
+		n.tickers = append(n.tickers, n.sched.Every(c.TCInterval/3, c.TCInterval, c.Jitter, n.sendHNA))
+	}
+}
+
+// Stop cancels the node's timers.
+func (n *Node) Stop() {
+	for _, t := range n.tickers {
+		t.Stop()
+	}
+	n.tickers = nil
+	n.started = false
+}
+
+func (n *Node) now() time.Duration { return n.sched.Now() }
+
+func (n *Node) log(kind auditlog.Kind, fields ...auditlog.Field) {
+	if n.logb == nil {
+		return
+	}
+	n.logb.Append(auditlog.Record{T: n.now(), Node: n.cfg.Addr, Kind: kind, Fields: fields})
+}
+
+// nextMsgSeq returns the next message sequence number.
+func (n *Node) nextMsgSeq() uint16 {
+	n.msgSeq++
+	return n.msgSeq
+}
+
+// broadcast wraps messages into a packet and transmits it.
+func (n *Node) broadcast(msgs ...wire.Message) {
+	n.pktSeq++
+	p := &wire.Packet{Seq: n.pktSeq, Messages: msgs}
+	n.send(p.Encode())
+}
+
+// symLink reports whether the link to x is currently symmetric.
+func (n *Node) symLink(x addr.Node) bool {
+	lt, ok := n.links[x]
+	return ok && lt.symUntil > n.now()
+}
+
+// asymLink reports whether x has been heard but the link is not (yet)
+// symmetric.
+func (n *Node) asymLink(x addr.Node) bool {
+	lt, ok := n.links[x]
+	return ok && lt.symUntil <= n.now() && lt.asymUntil > n.now()
+}
+
+// SymNeighbors returns the current symmetric 1-hop neighborhood.
+func (n *Node) SymNeighbors() addr.Set {
+	out := make(addr.Set)
+	for x, lt := range n.links {
+		if lt.symUntil > n.now() {
+			out.Add(x)
+		}
+	}
+	return out
+}
+
+// IsSymNeighbor reports whether x is currently a symmetric neighbor. This
+// is the primitive a node uses to answer a link-verification request
+// about itself during a cooperative investigation.
+func (n *Node) IsSymNeighbor(x addr.Node) bool { return n.symLink(x) }
+
+// HearsFrom reports whether this node currently receives x's HELLOs at
+// all (symmetric or asymmetric link). It answers the directional question
+// behind omission verification (Expression 3): "the suspect claims not to
+// hear you — do you still hear the suspect?".
+func (n *Node) HearsFrom(x addr.Node) bool { return n.symLink(x) || n.asymLink(x) }
+
+// TwoHopNeighbors returns every node reachable in exactly two hops
+// (excluding the node itself and its symmetric neighbors).
+func (n *Node) TwoHopNeighbors() addr.Set {
+	sym := n.SymNeighbors()
+	out := make(addr.Set)
+	for via, m := range n.twoHop {
+		if !sym.Has(via) {
+			continue
+		}
+		for b, until := range m {
+			if until > n.now() && b != n.cfg.Addr && !sym.Has(b) {
+				out.Add(b)
+			}
+		}
+	}
+	return out
+}
+
+// CoverOf returns the set of nodes that the symmetric neighbor via has
+// advertised as its own symmetric neighbors (the basis of evidences E4/E5:
+// does an MPR really cover its adjacent neighbors?).
+func (n *Node) CoverOf(via addr.Node) addr.Set {
+	out := make(addr.Set)
+	for b, until := range n.twoHop[via] {
+		if until > n.now() {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+// AdvertisedSym returns the symmetric-neighbor set most recently advertised
+// by neighbor x in a HELLO, as recorded when the HELLO was processed.
+func (n *Node) AdvertisedSym(x addr.Node) addr.Set {
+	if s, ok := n.lastHelloSym[x]; ok {
+		return s.Clone()
+	}
+	return make(addr.Set)
+}
+
+// MPRs returns the current multipoint relay set.
+func (n *Node) MPRs() addr.Set { return n.mprs.Clone() }
+
+// MPRSelectors returns the neighbors that selected this node as an MPR.
+func (n *Node) MPRSelectors() addr.Set {
+	out := make(addr.Set)
+	for x, until := range n.selectors {
+		if until > n.now() {
+			out.Add(x)
+		}
+	}
+	return out
+}
+
+// Willing returns the willingness last advertised by neighbor x, or
+// WillDefault when unknown.
+func (n *Node) Willing(x addr.Node) wire.Willingness {
+	if lt, ok := n.links[x]; ok {
+		return lt.will
+	}
+	return wire.WillDefault
+}
+
+// Routes returns a copy of the routing table sorted by destination.
+func (n *Node) Routes() []Route {
+	out := make([]Route, 0, len(n.routes))
+	for _, r := range n.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dest < out[j].Dest })
+	return out
+}
+
+// RouteTo returns the route to dst, if any.
+func (n *Node) RouteTo(dst addr.Node) (Route, bool) {
+	r, ok := n.routes[dst]
+	return r, ok
+}
+
+// MainAddrOf resolves an interface address to a main address using the MID
+// association set; unknown interfaces map to themselves.
+func (n *Node) MainAddrOf(iface addr.Node) addr.Node {
+	if main, ok := n.midAssoc[iface]; ok && n.midUntil[iface] > n.now() {
+		return main
+	}
+	return iface
+}
+
+// GatewayFor returns the HNA gateway currently announcing the network, if
+// any.
+func (n *Node) GatewayFor(nw wire.HNANetwork) (addr.Node, bool) {
+	gw, ok := n.hnaRoutes[nw]
+	if !ok || n.hnaUntil[nw] <= n.now() {
+		return addr.None, false
+	}
+	return gw, true
+}
+
+// TopologyLinks returns the learned (lastHop -> dest) topology pairs,
+// sorted, for inspection by tests and debug tools.
+func (n *Node) TopologyLinks() [][2]addr.Node {
+	var out [][2]addr.Node
+	for last, e := range n.topo {
+		for dest, until := range e.dests {
+			if until > n.now() {
+				out = append(out, [2]addr.Node{last, dest})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Stats reports per-node control-plane counters.
+type Stats struct {
+	HelloTx, TCTx, TCFwd, MsgRx, MsgDrop uint64
+}
+
+// Stats returns the node's control-plane counters.
+func (n *Node) Stats() Stats {
+	return Stats{HelloTx: n.helloTx, TCTx: n.tcTx, TCFwd: n.tcFwd, MsgRx: n.msgRx, MsgDrop: n.msgDrop}
+}
+
+// HandlePacket ingests a received OLSR packet. sender is the link-layer
+// previous hop (not necessarily the originator of the contained messages).
+func (n *Node) HandlePacket(sender addr.Node, data []byte) {
+	pkt, err := wire.DecodePacket(data)
+	if err != nil {
+		n.log(auditlog.KindBadPacket, auditlog.FNode("from", sender), auditlog.F("reason", "decode"))
+		return
+	}
+	for i := range pkt.Messages {
+		n.handleMessage(sender, &pkt.Messages[i])
+	}
+}
+
+func (n *Node) handleMessage(sender addr.Node, m *wire.Message) {
+	n.msgRx++
+	if m.Originator == n.cfg.Addr {
+		// Our own message echoed back by a forwarder. The MSG_DROP log with
+		// reason=own is load-bearing: it proves the neighbor relayed our
+		// traffic, which the drop-attack signature relies on.
+		n.msgDrop++
+		n.log(auditlog.KindMsgDrop,
+			auditlog.FNode("from", sender),
+			auditlog.FNode("orig", m.Originator),
+			auditlog.F("reason", "own"))
+		return
+	}
+	if h, ok := m.Body.(*wire.Hello); ok {
+		n.processHello(m, h)
+		return
+	}
+
+	// Flooded message types: RFC 3626 §3.4.1 step 1 — a copy received from
+	// a non-symmetric neighbor is discarded entirely, before the duplicate
+	// set is consulted, so a later copy from a symmetric neighbor is still
+	// processed.
+	if !n.symLink(sender) {
+		n.msgDrop++
+		n.log(auditlog.KindMsgDrop,
+			auditlog.FNode("from", sender),
+			auditlog.FNode("orig", m.Originator),
+			auditlog.F("reason", "nonsym"))
+		return
+	}
+
+	key := dupKey{orig: m.Originator, seq: m.Seq}
+	d := n.dups[key]
+	if d == nil {
+		d = &dupTuple{}
+		n.dups[key] = d
+	}
+	d.until = n.now() + n.cfg.DuplicateHold
+
+	if d.processed {
+		n.msgDrop++
+		n.log(auditlog.KindMsgDrop,
+			auditlog.FNode("from", sender),
+			auditlog.FNode("orig", m.Originator),
+			auditlog.F("reason", "dup"))
+	} else {
+		d.processed = true
+		switch body := m.Body.(type) {
+		case *wire.TC:
+			n.processTC(sender, m, body)
+		case *wire.MID:
+			n.processMID(m, body)
+		case *wire.HNA:
+			n.processHNA(m, body)
+		case *wire.RawBody:
+			// Unknown types are forwarded but not processed (RFC §3.4).
+		}
+	}
+	n.maybeForward(sender, m, d)
+}
+
+// maybeForward applies the RFC 3626 §3.4.1 default forwarding algorithm:
+// retransmit iff the link-layer sender is a symmetric neighbor that
+// selected this node as an MPR, the message was not already retransmitted,
+// and the TTL allows another hop.
+func (n *Node) maybeForward(sender addr.Node, m *wire.Message, d *dupTuple) {
+	if m.TTL <= 1 || d.retransmitted {
+		return
+	}
+	if until, sel := n.selectors[sender]; !sel || until <= n.now() {
+		return
+	}
+	if n.hooks.DropForward != nil && n.hooks.DropForward(m, sender) {
+		// Dropped silently: a misbehaving relay does not log its own
+		// misdeed. Detection must come from other nodes' logs.
+		return
+	}
+	d.retransmitted = true
+	fwd := *m
+	fwd.TTL--
+	fwd.HopCount++
+	n.tcFwd++
+	if m.Type() == wire.MsgTC {
+		n.log(auditlog.KindTCFwd,
+			auditlog.FNode("orig", m.Originator),
+			auditlog.FNode("sender", sender))
+	}
+	n.broadcast(fwd)
+}

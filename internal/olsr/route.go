@@ -1,0 +1,82 @@
+package olsr
+
+import (
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// calculateRoutes implements the RFC 3626 §10 routing-table calculation:
+// symmetric neighbors at one hop, strict 2-hop neighbors through a
+// covering neighbor, then iterative extension through the TC-learned
+// topology set. Iteration order is sorted throughout so route selection is
+// deterministic under ties.
+func (n *Node) calculateRoutes() map[addr.Node]Route {
+	now := n.now()
+	routes := make(map[addr.Node]Route)
+	sym := n.SymNeighbors()
+
+	for _, x := range sym.Sorted() {
+		routes[x] = Route{Dest: x, NextHop: x, Hops: 1}
+	}
+
+	// Strict 2-hop destinations, preferring MPR relays, then lower address.
+	vias := sym.Sorted()
+	sort.SliceStable(vias, func(i, j int) bool {
+		mi, mj := n.mprs.Has(vias[i]), n.mprs.Has(vias[j])
+		if mi != mj {
+			return mi
+		}
+		return vias[i] < vias[j]
+	})
+	for _, via := range vias {
+		for b, until := range n.twoHop[via] {
+			if until <= now || b == n.cfg.Addr {
+				continue
+			}
+			if _, have := routes[b]; have {
+				continue
+			}
+			routes[b] = Route{Dest: b, NextHop: via, Hops: 2}
+		}
+	}
+
+	// Extend through the topology set, one hop count at a time.
+	topoLasts := make([]addr.Node, 0, len(n.topo))
+	for last := range n.topo {
+		topoLasts = append(topoLasts, last)
+	}
+	sort.Slice(topoLasts, func(i, j int) bool { return topoLasts[i] < topoLasts[j] })
+
+	for h := 2; ; h++ {
+		added := false
+		for _, last := range topoLasts {
+			rl, ok := routes[last]
+			if !ok || rl.Hops != h {
+				continue
+			}
+			e := n.topo[last]
+			dests := make([]addr.Node, 0, len(e.dests))
+			for d, until := range e.dests {
+				if until > now {
+					dests = append(dests, d)
+				}
+			}
+			sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+			for _, d := range dests {
+				if d == n.cfg.Addr {
+					continue
+				}
+				if _, have := routes[d]; have {
+					continue
+				}
+				routes[d] = Route{Dest: d, NextHop: rl.NextHop, Hops: h + 1}
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return routes
+}

@@ -1,0 +1,134 @@
+package olsr
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/auditlog"
+	"repro/internal/wire"
+)
+
+// seqNewer implements the RFC 3626 §19 wraparound comparison: a is newer
+// than b.
+func seqNewer(a, b uint16) bool {
+	return (a > b && a-b <= 32768) || (a < b && b-a > 32768)
+}
+
+// sendTC originates a Topology Control message advertising the node's MPR
+// selectors. Nodes with no selectors stay silent (RFC 3626 §9.3 allows
+// ceasing TC generation once an empty TC has drained; we keep the simpler
+// variant of not transmitting, which the expiry of old tuples handles).
+func (n *Node) sendTC() {
+	sel := n.MPRSelectors()
+	if len(sel) == 0 {
+		return
+	}
+	tc := &wire.TC{ANSN: n.ansn, Advertised: sel.Sorted()}
+	if n.hooks.ModifyTC != nil {
+		n.hooks.ModifyTC(tc)
+	}
+	n.tcTx++
+	n.log(auditlog.KindTCTx,
+		auditlog.FInt("ansn", int(tc.ANSN)),
+		auditlog.FNodes("adv", tc.Advertised))
+	n.broadcast(wire.Message{
+		VTime:      n.cfg.TopologyHold,
+		Originator: n.cfg.Addr,
+		TTL:        255,
+		Seq:        n.nextMsgSeq(),
+		Body:       tc,
+	})
+}
+
+// processTC implements RFC 3626 §9.5: topology-set maintenance with ANSN
+// freshness checking. The symmetric-sender requirement is enforced by the
+// caller before the duplicate set is touched.
+func (n *Node) processTC(sender addr.Node, m *wire.Message, tc *wire.TC) {
+	now := n.now()
+	vuntil := now + m.VTime
+
+	e := n.topo[m.Originator]
+	if e != nil && seqNewer(e.ansn, tc.ANSN) {
+		n.msgDrop++
+		n.log(auditlog.KindMsgDrop,
+			auditlog.FNode("from", sender),
+			auditlog.FNode("orig", m.Originator),
+			auditlog.F("reason", "stale"))
+		return
+	}
+	if e == nil {
+		e = &topoEntry{dests: make(map[addr.Node]time.Duration)}
+		n.topo[m.Originator] = e
+	}
+	if seqNewer(tc.ANSN, e.ansn) {
+		// Newer advertisement set: drop every tuple recorded under the old
+		// ANSN (RFC 3626 §9.5 step 3).
+		e.dests = make(map[addr.Node]time.Duration, len(tc.Advertised))
+	}
+	e.ansn = tc.ANSN
+	for _, d := range tc.Advertised {
+		if d != n.cfg.Addr {
+			e.dests[d] = vuntil
+		}
+	}
+
+	n.log(auditlog.KindTCRx,
+		auditlog.FNode("orig", m.Originator),
+		auditlog.FInt("ansn", int(tc.ANSN)),
+		auditlog.FNodes("adv", addr.NewSet(tc.Advertised...).Sorted()))
+
+	n.afterTopologyChange()
+}
+
+// sendMID announces the node's extra interfaces (RFC 3626 §5.2).
+func (n *Node) sendMID() {
+	if len(n.cfg.ExtraInterfaces) == 0 {
+		return
+	}
+	n.broadcast(wire.Message{
+		VTime:      n.cfg.TopologyHold,
+		Originator: n.cfg.Addr,
+		TTL:        255,
+		Seq:        n.nextMsgSeq(),
+		Body:       &wire.MID{Interfaces: n.cfg.ExtraInterfaces},
+	})
+}
+
+// processMID maintains the interface association set (RFC 3626 §5.4).
+func (n *Node) processMID(m *wire.Message, mid *wire.MID) {
+	if !n.symLink(m.Originator) && len(n.midAssoc) == 0 {
+		// MIDs are flooded; accept them regardless of the link to the
+		// originator, which is usually remote. (The sym check applies to
+		// the sender and is enforced by forwarding.)
+		_ = mid
+	}
+	vuntil := n.now() + m.VTime
+	for _, iface := range mid.Interfaces {
+		n.midAssoc[iface] = m.Originator
+		n.midUntil[iface] = vuntil
+	}
+}
+
+// sendHNA announces the node's external networks (RFC 3626 §12.3).
+func (n *Node) sendHNA() {
+	if len(n.cfg.ExternalNetworks) == 0 {
+		return
+	}
+	n.broadcast(wire.Message{
+		VTime:      n.cfg.TopologyHold,
+		Originator: n.cfg.Addr,
+		TTL:        255,
+		Seq:        n.nextMsgSeq(),
+		Body:       &wire.HNA{Networks: n.cfg.ExternalNetworks},
+	})
+}
+
+// processHNA maintains the association set of external routes
+// (RFC 3626 §12.5).
+func (n *Node) processHNA(m *wire.Message, hna *wire.HNA) {
+	vuntil := n.now() + m.VTime
+	for _, nw := range hna.Networks {
+		n.hnaRoutes[nw] = m.Originator
+		n.hnaUntil[nw] = vuntil
+	}
+}

@@ -1,0 +1,225 @@
+// Package radio simulates the wireless medium: frame broadcast and unicast
+// between stations with configurable propagation, loss and delay.
+//
+// The medium is intentionally simple — the trust and detection layers above
+// depend only on which control messages arrive, when, and how often they are
+// lost, all of which this model reproduces. See DESIGN.md §2 for the
+// substitution rationale versus a full 802.11 PHY/MAC.
+package radio
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Frame is one link-layer transmission.
+type Frame struct {
+	From    addr.Node
+	To      addr.Node // addr.Broadcast for one-hop broadcast
+	Payload []byte
+	Sent    time.Duration // virtual time the transmission started
+}
+
+// Propagation decides link quality from transmitter→receiver distance.
+type Propagation interface {
+	// DeliveryProb returns the probability that a frame sent over distance
+	// d meters is received. 0 means out of range.
+	DeliveryProb(d float64) float64
+}
+
+// UnitDisk is the classic fixed-radius model: delivery succeeds with
+// probability 1 inside Range, 0 outside.
+type UnitDisk struct {
+	Range float64
+}
+
+var _ Propagation = UnitDisk{}
+
+// DeliveryProb implements Propagation.
+func (u UnitDisk) DeliveryProb(d float64) float64 {
+	if d <= u.Range {
+		return 1
+	}
+	return 0
+}
+
+// LossyDisk delivers with probability 1-Loss inside Range, degrading
+// linearly to zero between Range and FadeRange (gray zone). It approximates
+// log-distance path loss with shadowing without modeling dBm budgets.
+type LossyDisk struct {
+	Range     float64 // reliable range (delivery prob = 1-Loss)
+	FadeRange float64 // beyond Range, probability decays linearly to 0 here
+	Loss      float64 // base loss probability inside Range, in [0,1)
+}
+
+var _ Propagation = LossyDisk{}
+
+// DeliveryProb implements Propagation.
+func (l LossyDisk) DeliveryProb(d float64) float64 {
+	base := 1 - l.Loss
+	switch {
+	case d <= l.Range:
+		return base
+	case l.FadeRange > l.Range && d < l.FadeRange:
+		return base * (l.FadeRange - d) / (l.FadeRange - l.Range)
+	default:
+		return 0
+	}
+}
+
+// Handler receives frames addressed to (or broadcast near) a station.
+type Handler func(f Frame)
+
+type station struct {
+	id      addr.Node
+	pos     func() geo.Point
+	handler Handler
+	down    bool
+}
+
+// Stats counts medium activity for the overhead experiments.
+type Stats struct {
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesLost      uint64 // lost to propagation/loss model
+	BytesSent       uint64
+	BytesDelivered  uint64
+}
+
+// Config parameterizes the medium.
+type Config struct {
+	Prop      Propagation
+	PropDelay time.Duration // fixed propagation+processing delay per hop
+	// BitRate, if > 0, adds a size-proportional transmission delay
+	// (bits / BitRate) to every frame.
+	BitRate float64 // bits per second
+}
+
+// Medium connects stations and delivers frames between them through the
+// event scheduler.
+type Medium struct {
+	sched    *sim.Scheduler
+	cfg      Config
+	rng      *rand.Rand
+	stations map[addr.Node]*station
+	order    []addr.Node // deterministic iteration order
+	stats    Stats
+}
+
+// NewMedium creates a medium bound to the scheduler. Delivery randomness is
+// drawn from the scheduler's RNG, keeping runs seed-deterministic.
+func NewMedium(sched *sim.Scheduler, cfg Config) *Medium {
+	if cfg.Prop == nil {
+		cfg.Prop = UnitDisk{Range: 250}
+	}
+	if cfg.PropDelay <= 0 {
+		cfg.PropDelay = time.Millisecond
+	}
+	return &Medium{
+		sched:    sched,
+		cfg:      cfg,
+		rng:      sched.Rand(),
+		stations: make(map[addr.Node]*station),
+	}
+}
+
+// Attach registers a station. pos is sampled at transmission time so moving
+// nodes are supported; handler receives delivered frames.
+func (m *Medium) Attach(id addr.Node, pos func() geo.Point, handler Handler) {
+	if _, dup := m.stations[id]; !dup {
+		m.order = append(m.order, id)
+	}
+	m.stations[id] = &station{id: id, pos: pos, handler: handler}
+}
+
+// SetDown marks a station as powered off (true) or on (false); a down
+// station neither sends nor receives. Used for failure injection.
+func (m *Medium) SetDown(id addr.Node, down bool) {
+	if st, ok := m.stations[id]; ok {
+		st.down = down
+	}
+}
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// InRange reports whether a and b can currently hear each other with
+// non-zero probability. Used by tests and topology checks.
+func (m *Medium) InRange(a, b addr.Node) bool {
+	sa, oka := m.stations[a]
+	sb, okb := m.stations[b]
+	if !oka || !okb || sa.down || sb.down {
+		return false
+	}
+	return m.cfg.Prop.DeliveryProb(sa.pos().Dist(sb.pos())) > 0
+}
+
+// Neighbors returns the stations currently within (possibly lossy) range of
+// id, in deterministic order.
+func (m *Medium) Neighbors(id addr.Node) []addr.Node {
+	var out []addr.Node
+	for _, other := range m.order {
+		if other == id {
+			continue
+		}
+		if m.InRange(id, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Send transmits payload from the named station. to may be a station id
+// (link-layer unicast: delivered only to that station, still subject to
+// range and loss) or addr.Broadcast (delivered to every station in range).
+// Delivery happens asynchronously after the configured delays.
+func (m *Medium) Send(from, to addr.Node, payload []byte) {
+	src, ok := m.stations[from]
+	if !ok || src.down {
+		return
+	}
+	m.stats.FramesSent++
+	m.stats.BytesSent += uint64(len(payload))
+
+	delay := m.cfg.PropDelay
+	if m.cfg.BitRate > 0 {
+		delay += time.Duration(float64(time.Second) * float64(len(payload)*8) / m.cfg.BitRate)
+	}
+	srcPos := src.pos()
+	frame := Frame{From: from, To: to, Payload: payload, Sent: m.sched.Now()}
+
+	deliver := func(dst *station) {
+		d := srcPos.Dist(dst.pos())
+		p := m.cfg.Prop.DeliveryProb(d)
+		if p <= 0 || m.rng.Float64() >= p {
+			m.stats.FramesLost++
+			return
+		}
+		m.stats.FramesDelivered++
+		m.stats.BytesDelivered += uint64(len(frame.Payload))
+		m.sched.After(delay, func() {
+			if dst.down || dst.handler == nil {
+				return
+			}
+			dst.handler(frame)
+		})
+	}
+
+	if to == addr.Broadcast {
+		for _, id := range m.order {
+			dst := m.stations[id]
+			if dst.id == from || dst.down {
+				continue
+			}
+			deliver(dst)
+		}
+		return
+	}
+	if dst, ok := m.stations[to]; ok && !dst.down {
+		deliver(dst)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is single-threaded: events run one at a time in virtual-time
+// order, with FIFO ordering among events scheduled for the same instant.
+// Determinism is a hard requirement for the reproduction — every experiment
+// in EXPERIMENTS.md records its seed, and re-running with the same seed must
+// produce byte-identical series.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is not useful; create events
+// through Scheduler.At or Scheduler.After.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from running. Canceling an already-run or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending event queue.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	ran    uint64
+}
+
+// New returns a scheduler whose random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))} //nolint:gosec // simulation, not crypto
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. All simulation
+// randomness must come from this source (or one derived from it) so that a
+// seed fully determines a run.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Pending returns the number of events waiting to run, including canceled
+// events that have not been reaped yet.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Processed returns how many events have run so far.
+func (s *Scheduler) Processed() uint64 { return s.ran }
+
+// At schedules fn to run at absolute virtual time t. Times in the past run
+// at the current instant (never before already-queued events for that
+// instant).
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		e, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			return false
+		}
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.ran++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event lies strictly after t. The clock is advanced to t afterwards so that
+// subsequent After calls are relative to t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for len(s.events) > 0 {
+		if s.events[0].canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if s.events[0].at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() { //nolint:revive // intentional empty body
+	}
+}
+
+// Ticker repeatedly schedules a callback with optional uniform jitter, the
+// way OLSR emission timers de-synchronize control traffic.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	jitter   float64
+	fn       func()
+	next     *Event
+	stopped  bool
+}
+
+// Every schedules fn to run first after start and then every interval,
+// each firing pulled earlier by a uniform random fraction of interval in
+// [0, jitter). Stop the returned ticker to cease firing.
+func (s *Scheduler) Every(start, interval time.Duration, jitter float64, fn func()) *Ticker {
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	t := &Ticker{s: s, interval: interval, jitter: jitter, fn: fn}
+	t.next = s.After(start, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop its own ticker
+		return
+	}
+	d := t.interval
+	if t.jitter > 0 {
+		d -= time.Duration(t.jitter * t.s.rng.Float64() * float64(t.interval))
+	}
+	if d <= 0 {
+		d = 1
+	}
+	t.next = t.s.After(d, t.fire)
+}
+
+// Stop cancels future firings. It is safe to call more than once and from
+// within the ticker's own callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

@@ -1,0 +1,37 @@
+package trust
+
+import "math"
+
+// Entropy returns the binary entropy H(p) = −p·log2(p) − (1−p)·log2(1−p),
+// the uncertainty measure the paper's trust model is grounded in (§IV,
+// citing Sun et al. [11]).
+func Entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// FromProbability maps a probability of correct behavior to an
+// entropy-based trust value in [−1, 1], per the information-theoretic
+// framework of Sun et al. [11]:
+//
+//	T = 1 − H(p)   for p ≥ 0.5 (confidence in good behavior)
+//	T = H(p) − 1   for p < 0.5 (confidence in misbehavior)
+//
+// p = 0.5 (maximum uncertainty) yields zero trust; p = 1 full trust;
+// p = 0 full distrust.
+func FromProbability(p float64) float64 {
+	p = math.Max(0, math.Min(1, p))
+	if p >= 0.5 {
+		return 1 - Entropy(p)
+	}
+	return Entropy(p) - 1
+}
+
+// ToUnitRange linearly maps an entropy trust value in [−1, 1] to the
+// [0, 1] range used by the Store, so recommendation trusts derived from
+// observation ratios can seed or compare with stored trust.
+func ToUnitRange(t float64) float64 {
+	return math.Max(0, math.Min(1, (t+1)/2))
+}

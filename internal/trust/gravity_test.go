@@ -1,0 +1,89 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestGravityFactors(t *testing.T) {
+	tests := []struct {
+		g    Gravity
+		want float64
+	}{
+		{GravityDefault, 1}, {GravityLow, 0.5}, {GravityHigh, 2}, {GravityCritical, 4},
+		{Gravity(99), 1},
+	}
+	for _, tt := range tests {
+		if got := tt.g.factor(); got != tt.want {
+			t.Errorf("%v.factor() = %v, want %v", tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestGravityString(t *testing.T) {
+	if GravityDefault.String() != "default" || GravityLow.String() != "low" ||
+		GravityHigh.String() != "high" || GravityCritical.String() != "critical" {
+		t.Error("Gravity strings wrong")
+	}
+}
+
+func TestGravityScalesUpdate(t *testing.T) {
+	// The evidence contribution (total drop minus the β-decay baseline)
+	// must scale exactly with the gravity factor.
+	p := DefaultParams()
+	s := NewStore(p)
+	n := addr.NodeAt(1)
+	decay := 0.8 * (1 - p.Beta)
+
+	contribution := func(g Gravity) float64 {
+		s.Set(n, 0.8)
+		return 0.8 - s.Update(n, []Evidence{{Value: -1, Gravity: g}}) - decay
+	}
+	plain := contribution(GravityDefault)
+	if math.Abs(plain-p.AlphaNeg) > 1e-12 {
+		t.Fatalf("plain contribution = %v, want αneg %v", plain, p.AlphaNeg)
+	}
+	if critical := contribution(GravityCritical); math.Abs(critical-4*plain) > 1e-12 {
+		t.Errorf("critical contribution %v, want 4x plain %v", critical, plain)
+	}
+	if low := contribution(GravityLow); math.Abs(low-plain/2) > 1e-12 {
+		t.Errorf("low contribution %v, want half of plain %v", low, plain)
+	}
+}
+
+func TestExplicitWeightOverridesGravity(t *testing.T) {
+	p := DefaultParams()
+	s := NewStore(p)
+	n := addr.NodeAt(1)
+	s.Set(n, 0.8)
+	got := s.Update(n, []Evidence{{Value: -1, Weight: 0.3, Gravity: GravityCritical}})
+	want := p.clamp(0.3*(-1) + p.Beta*0.8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Update = %v, want %v (explicit weight must win)", got, want)
+	}
+}
+
+func TestGravityConvergesFaster(t *testing.T) {
+	// A critical-gravity liar collapses in a quarter of the rounds.
+	p := DefaultParams()
+	roundsToZero := func(g Gravity) int {
+		s := NewStore(p)
+		n := addr.NodeAt(1)
+		s.Set(n, 0.9)
+		for r := 1; r <= 100; r++ {
+			if s.Update(n, []Evidence{{Value: -1, Gravity: g}}) <= 0 {
+				return r
+			}
+		}
+		return 101
+	}
+	plain, critical := roundsToZero(GravityDefault), roundsToZero(GravityCritical)
+	if critical >= plain {
+		t.Errorf("critical took %d rounds, plain %d", critical, plain)
+	}
+	if critical > 3 {
+		t.Errorf("critical gravity too slow: %d rounds from 0.9", critical)
+	}
+}

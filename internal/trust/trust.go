@@ -1,0 +1,306 @@
+// Package trust implements the paper's entropy-based trust system (§IV):
+// per-node trust establishment from weighted evidence (Eq. 5), trust
+// propagation through third parties (Eq. 6) and multiple recommenders
+// (Eq. 7), the trust-weighted detection aggregate (Eq. 8), the confidence
+// interval on that aggregate (Eq. 9), and the three-way decision rule
+// (Eq. 10).
+//
+// Trust values live in [0, 1] with a configurable default (the paper's
+// figures use 0.4); evidence values live in [-1, 1] with -1 = harmful
+// (lying, spoofing) and +1 = beneficial (correct relaying, confirmed
+// answers).
+package trust
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// Params are the trust-system constants. The paper does not publish its
+// α/β values; DefaultParams is calibrated so the shapes of Figures 1–3
+// hold (see DESIGN.md §2 and the ablation benches).
+type Params struct {
+	// AlphaPos weights beneficial evidence (paper: the "reputability"
+	// weighting factor α for e > 0). Small: trust is hard to earn.
+	AlphaPos float64
+	// AlphaNeg weights harmful evidence (the "gravity" factor for e < 0).
+	// Larger than AlphaPos: the system is defensive — misconduct costs
+	// much more than good conduct earns (Fig. 1).
+	AlphaNeg float64
+	// Beta is the forgetting factor β of Eq. 5: how much of the previous
+	// trust survives a time slot. With AlphaPos = (1−Beta)·T_max the
+	// equilibrium of sustained good behavior is full trust, keeping honest
+	// trust monotone ascending (Fig. 1).
+	Beta float64
+	// RelaxBeta is the memory factor of the evidence-free relaxation step
+	// (Fig. 2). The paper uses a single β; the two figures' time scales
+	// require different rates here (see DESIGN.md §5), so the relaxation
+	// rate is its own parameter.
+	RelaxBeta float64
+	// Default is the initial/default trust assigned to unknown nodes and
+	// the value evidence-free trust relaxes toward (Fig. 2 shows recovery
+	// to 0.4).
+	Default float64
+	// Gamma is the decision threshold γ of Eq. 10.
+	Gamma float64
+	// ConfidenceLevel is the cl parameter of the confidence interval
+	// (Eq. 9), e.g. 0.95.
+	ConfidenceLevel float64
+	// Min and Max clamp the trust range.
+	Min, Max float64
+}
+
+// DefaultParams returns the calibrated defaults used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		AlphaPos:        0.01,
+		AlphaNeg:        0.12,
+		Beta:            0.99,
+		RelaxBeta:       0.9,
+		Default:         0.4,
+		Gamma:           0.6,
+		ConfidenceLevel: 0.95,
+		Min:             0,
+		Max:             1,
+	}
+}
+
+// Gravity classifies how serious an evidence item is. It scales the α
+// weighting factor, implementing properties 2–3 of §IV-A (degree of
+// gravity, and the imminence of an intrusion drastically decreasing
+// trustworthiness) — the per-class weighting the paper lists as its first
+// item of future work (§VII).
+type Gravity int
+
+// Gravity classes, mildest first.
+const (
+	// GravityDefault is an ordinary second-hand observation (α × 1).
+	GravityDefault Gravity = iota
+	// GravityLow halves the weight — e.g. circumstantial corroboration.
+	GravityLow
+	// GravityHigh doubles the weight — e.g. a first-hand contradiction
+	// observed in the node's own log.
+	GravityHigh
+	// GravityCritical quadruples the weight — an imminent intrusion, such
+	// as advertising a node outside the known membership (property 3).
+	GravityCritical
+)
+
+// factor returns the α multiplier for the class.
+func (g Gravity) factor() float64 {
+	switch g {
+	case GravityLow:
+		return 0.5
+	case GravityHigh:
+		return 2
+	case GravityCritical:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// String implements fmt.Stringer.
+func (g Gravity) String() string {
+	switch g {
+	case GravityLow:
+		return "low"
+	case GravityHigh:
+		return "high"
+	case GravityCritical:
+		return "critical"
+	default:
+		return "default"
+	}
+}
+
+// Evidence is one observed activity of a node within a time slot.
+type Evidence struct {
+	// Value is e_j in [-1, 1]: positive for beneficial activity, negative
+	// for harmful activity.
+	Value float64
+	// Weight overrides the α_j weighting factor when > 0; otherwise
+	// AlphaPos/AlphaNeg is used according to the sign of Value, letting
+	// callers express per-evidence gravity (property 2 of §IV-A).
+	Weight float64
+	// Gravity scales the effective weight by its class factor (ignored
+	// when Weight overrides α explicitly).
+	Gravity Gravity
+}
+
+func (p Params) clamp(v float64) float64 {
+	return math.Max(p.Min, math.Min(p.Max, v))
+}
+
+// Store holds the trust relations one node maintains about others.
+type Store struct {
+	params Params
+	values map[addr.Node]float64
+}
+
+// NewStore creates a store with the given parameters.
+func NewStore(p Params) *Store {
+	return &Store{params: p, values: make(map[addr.Node]float64)}
+}
+
+// Params returns the store's parameters.
+func (s *Store) Params() Params { return s.params }
+
+// Get returns the trust in n, or the default for unknown nodes.
+func (s *Store) Get(n addr.Node) float64 {
+	if v, ok := s.values[n]; ok {
+		return v
+	}
+	return s.params.Default
+}
+
+// Known reports whether n has an explicit trust value.
+func (s *Store) Known(n addr.Node) bool {
+	_, ok := s.values[n]
+	return ok
+}
+
+// Set assigns an explicit trust value (clamped), e.g. the random initial
+// trust of the paper's experiments.
+func (s *Store) Set(n addr.Node, v float64) {
+	s.values[n] = s.params.clamp(v)
+}
+
+// Forget removes the explicit value for n, reverting it to the default.
+func (s *Store) Forget(n addr.Node) { delete(s.values, n) }
+
+// Update applies Eq. 5 for one time slot:
+//
+//	T(A,I)_Δt = Σ_j α_j·e_j + β·T(A,I)_Δ(t−1)
+//
+// and returns the new (clamped) trust.
+func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
+	sum := 0.0
+	for _, ev := range evidence {
+		w := ev.Weight
+		if w <= 0 {
+			if ev.Value >= 0 {
+				w = s.params.AlphaPos
+			} else {
+				w = s.params.AlphaNeg
+			}
+			w *= ev.Gravity.factor()
+		}
+		sum += w * ev.Value
+	}
+	v := s.params.clamp(sum + s.params.Beta*s.Get(n))
+	s.values[n] = v
+	return v
+}
+
+// Relax applies the evidence-free step of one time slot: trust decays
+// toward the default at rate 1−RelaxBeta,
+//
+//	T ← β·T + (1−β)·T_default,
+//
+// reproducing both directions of the paper's Fig. 2 (high-trust nodes fall
+// back to the default; formerly distrusted nodes recover slowly — "a long
+// misconduct-less duration before trusting a former liar").
+func (s *Store) Relax(n addr.Node) float64 {
+	p := s.params
+	beta := p.RelaxBeta
+	if beta <= 0 {
+		beta = p.Beta
+	}
+	v := p.clamp(beta*s.Get(n) + (1-beta)*p.Default)
+	s.values[n] = v
+	return v
+}
+
+// RelaxAll applies Relax to every known node.
+func (s *Store) RelaxAll() {
+	for n := range s.values {
+		s.Relax(n)
+	}
+}
+
+// Nodes returns the nodes with explicit trust values, sorted.
+func (s *Store) Nodes() []addr.Node {
+	out := make([]addr.Node, 0, len(s.values))
+	for n := range s.values {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns a copy of all explicit trust values.
+func (s *Store) Snapshot() map[addr.Node]float64 {
+	out := make(map[addr.Node]float64, len(s.values))
+	for n, v := range s.values {
+		out[n] = v
+	}
+	return out
+}
+
+// Concatenated implements Eq. 6: A trusts I through third party S as
+// Tc = R(A,S) · T(S,I), where r is how much A trusts S's recommendations
+// and t is S's reported trust in I.
+func Concatenated(r, t float64) float64 { return r * t }
+
+// Recommendation is one (recommender trust, reported trust) pair for
+// multipath propagation.
+type Recommendation struct {
+	// R is how much the evaluator trusts the recommender's recommendations.
+	R float64
+	// T is the trust the recommender reports about the subject.
+	T float64
+}
+
+// Multipath implements Eq. 7: beliefs from several recommenders are
+// combined with weights w_i = 1/Σ_j R_j. The boolean is false when the
+// recommendations carry no usable weight (ΣR ≤ 0).
+func Multipath(recs []Recommendation) (float64, bool) {
+	var sumR float64
+	for _, r := range recs {
+		sumR += r.R
+	}
+	if sumR <= 0 {
+		return 0, false
+	}
+	var v float64
+	for _, r := range recs {
+		v += r.R * r.T / sumR
+	}
+	return v, true
+}
+
+// Observation is one second-hand answer gathered during an investigation:
+// the responder, the trust the investigator places in it, and its evidence
+// e ∈ {−1, 0, +1} (−1 = "the advertised link is wrong", +1 = "the link is
+// correct", 0 = no answer before the timeout).
+type Observation struct {
+	Source   addr.Node
+	Trust    float64
+	Evidence float64
+}
+
+// Detect implements Eq. 8: the trust-weighted aggregation of second-hand
+// evidence,
+//
+//	Detect(A,I) = Σ_i w_i · T(A,S_i) · e_i,  w_i = 1/Σ_j T(A,S_j).
+//
+// The result lies in [−1, 1]; values near −1 indicate a link spoofing
+// attack carried by I. The boolean is false when no responder carries any
+// trust (ΣT ≤ 0).
+func Detect(obs []Observation) (float64, bool) {
+	var sumT float64
+	for _, o := range obs {
+		sumT += o.Trust
+	}
+	if sumT <= 0 {
+		return 0, false
+	}
+	var v float64
+	for _, o := range obs {
+		v += o.Trust * o.Evidence / sumT
+	}
+	return v, true
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// FuzzDecodePacket: the codec must never panic and must stay consistent —
+// anything it accepts must re-encode and re-decode to the same bytes.
+// The decoder is attack surface: §II-B's active-forge attacks deliver
+// adversarial packets to every node.
+func FuzzDecodePacket(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		{0, 0},
+		{0, 4, 0, 1},
+		(&Packet{Seq: 1, Messages: []Message{{
+			VTime: 2 * time.Second, Originator: addr.NodeAt(1), TTL: 1, Seq: 1,
+			Body: &Hello{HTime: 2 * time.Second, Will: WillDefault, Links: []LinkBlock{{
+				Code:      MakeLinkCode(NeighSym, LinkSym),
+				Neighbors: []addr.Node{addr.NodeAt(2)},
+			}}},
+		}}}).Encode(),
+		(&Packet{Seq: 2, Messages: []Message{{
+			VTime: 15 * time.Second, Originator: addr.NodeAt(3), TTL: 255, Seq: 9,
+			Body: &TC{ANSN: 7, Advertised: []addr.Node{addr.NodeAt(1), addr.NodeAt(2)}},
+		}}}).Encode(),
+		(&Packet{Seq: 3, Messages: []Message{{
+			VTime: 15 * time.Second, Originator: addr.NodeAt(3), TTL: 255, Seq: 10,
+			Body: &MID{Interfaces: []addr.Node{addr.NodeAt(200)}},
+		}, {
+			VTime: 15 * time.Second, Originator: addr.NodeAt(3), TTL: 255, Seq: 11,
+			Body: &HNA{Networks: []HNANetwork{{Network: 0x0a000000, Mask: 0xff000000}}},
+		}}}).Encode(),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		re := p.Encode()
+		q, err := DecodePacket(re)
+		if err != nil {
+			t.Fatalf("accepted packet does not re-decode: %v", err)
+		}
+		if len(q.Messages) != len(p.Messages) || q.Seq != p.Seq {
+			t.Fatalf("re-decode changed structure: %d/%d messages", len(q.Messages), len(p.Messages))
+		}
+	})
+}

@@ -1,0 +1,481 @@
+// Package wire implements the RFC 3626 (OLSR) binary packet and message
+// formats: packet framing, the common message header, and the HELLO, TC,
+// MID and HNA message bodies, plus the mantissa/exponent validity-time
+// encoding.
+//
+// The codec is strict on decode (truncated or inconsistent length fields
+// yield errors rather than partial results) because the intrusion detector
+// treats malformed control traffic as a loggable event.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// MessageType identifies an OLSR message body (RFC 3626 §18.4).
+type MessageType uint8
+
+// Message types registered by RFC 3626.
+const (
+	MsgHello MessageType = 1
+	MsgTC    MessageType = 2
+	MsgMID   MessageType = 3
+	MsgHNA   MessageType = 4
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgTC:
+		return "TC"
+	case MsgMID:
+		return "MID"
+	case MsgHNA:
+		return "HNA"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Willingness expresses a node's willingness to carry traffic for others
+// (RFC 3626 §18.8). MPRs are selected among the most-willing neighbors; an
+// attacker manipulating this field biases MPR selection (§II-B of the
+// paper).
+type Willingness uint8
+
+// Willingness constants from RFC 3626.
+const (
+	WillNever   Willingness = 0
+	WillLow     Willingness = 1
+	WillDefault Willingness = 3
+	WillHigh    Willingness = 6
+	WillAlways  Willingness = 7
+)
+
+// LinkType describes the state of a link from the sender's interface
+// (RFC 3626 §6.2).
+type LinkType uint8
+
+// Link types from RFC 3626.
+const (
+	LinkUnspec LinkType = 0
+	LinkAsym   LinkType = 1
+	LinkSym    LinkType = 2
+	LinkLost   LinkType = 3
+)
+
+// NeighborType describes the sender's relationship with the listed
+// neighbors (RFC 3626 §6.2).
+type NeighborType uint8
+
+// Neighbor types from RFC 3626.
+const (
+	NeighNot NeighborType = 0
+	NeighSym NeighborType = 1
+	NeighMPR NeighborType = 2
+)
+
+// LinkCode packs a LinkType and NeighborType into the single octet carried
+// in HELLO link blocks.
+type LinkCode uint8
+
+// MakeLinkCode combines a neighbor type and link type.
+func MakeLinkCode(nt NeighborType, lt LinkType) LinkCode {
+	return LinkCode(uint8(nt)<<2 | uint8(lt)&0x03)
+}
+
+// Split returns the neighbor and link type components.
+func (c LinkCode) Split() (NeighborType, LinkType) {
+	return NeighborType(c >> 2 & 0x03), LinkType(c & 0x03)
+}
+
+// String implements fmt.Stringer.
+func (c LinkCode) String() string {
+	nt, lt := c.Split()
+	names := [4]string{"UNSPEC", "ASYM", "SYM", "LOST"}
+	nnames := [4]string{"NOT", "SYM", "MPR", "?"}
+	return nnames[nt] + "/" + names[lt]
+}
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrBadLength = errors.New("wire: inconsistent length field")
+	ErrBadBody   = errors.New("wire: malformed message body")
+)
+
+// vtimeC is the RFC 3626 scaling constant C = 1/16 second.
+const vtimeC = time.Second / 16
+
+// EncodeVTime converts a duration to the RFC 3626 §18.3 mantissa/exponent
+// byte: t = C*(1+a/16)*2^b with a, b four-bit fields.
+func EncodeVTime(d time.Duration) byte {
+	if d < vtimeC {
+		d = vtimeC
+	}
+	ratio := float64(d) / float64(vtimeC)
+	b := 0
+	for ratio >= 2 && b < 15 {
+		ratio /= 2
+		b++
+	}
+	a := int(16*(ratio-1) + 0.5)
+	if a >= 16 {
+		a = 0
+		b++
+		if b > 15 {
+			a, b = 15, 15
+		}
+	}
+	return byte(a<<4 | b)
+}
+
+// DecodeVTime inverts EncodeVTime.
+func DecodeVTime(v byte) time.Duration {
+	a := int(v >> 4)
+	b := int(v & 0x0f)
+	return time.Duration(float64(vtimeC) * (1 + float64(a)/16) * float64(uint64(1)<<b))
+}
+
+// Body is an OLSR message body.
+type Body interface {
+	// MsgType returns the message type carried in the common header.
+	MsgType() MessageType
+	encodedSize() int
+	encodeTo(b []byte)
+}
+
+// LinkBlock is one HELLO link-message block: a link code and the neighbor
+// interface addresses it applies to.
+type LinkBlock struct {
+	Code      LinkCode
+	Neighbors []addr.Node
+}
+
+// Hello is the HELLO message body (RFC 3626 §6.1). It advertises the
+// sender's links and neighbors — exactly the information a link-spoofing
+// attacker falsifies.
+type Hello struct {
+	HTime time.Duration // HELLO emission interval advertised to neighbors
+	Will  Willingness
+	Links []LinkBlock
+}
+
+var _ Body = (*Hello)(nil)
+
+// MsgType implements Body.
+func (*Hello) MsgType() MessageType { return MsgHello }
+
+func (h *Hello) encodedSize() int {
+	n := 4 // reserved(2) + htime(1) + willingness(1)
+	for _, lb := range h.Links {
+		n += 4 + 4*len(lb.Neighbors)
+	}
+	return n
+}
+
+func (h *Hello) encodeTo(b []byte) {
+	b[0], b[1] = 0, 0
+	b[2] = EncodeVTime(h.HTime)
+	b[3] = byte(h.Will)
+	off := 4
+	for _, lb := range h.Links {
+		size := 4 + 4*len(lb.Neighbors)
+		b[off] = byte(lb.Code)
+		b[off+1] = 0
+		binary.BigEndian.PutUint16(b[off+2:], uint16(size)) //nolint:gosec // bounded by packet size
+		off += 4
+		for _, n := range lb.Neighbors {
+			binary.BigEndian.PutUint32(b[off:], uint32(n))
+			off += 4
+		}
+	}
+}
+
+func decodeHello(b []byte) (*Hello, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("hello header: %w", ErrTruncated)
+	}
+	h := &Hello{HTime: DecodeVTime(b[2]), Will: Willingness(b[3])}
+	off := 4
+	for off < len(b) {
+		if len(b)-off < 4 {
+			return nil, fmt.Errorf("hello link block header: %w", ErrTruncated)
+		}
+		code := LinkCode(b[off])
+		size := int(binary.BigEndian.Uint16(b[off+2:]))
+		if size < 4 || (size-4)%4 != 0 || off+size > len(b) {
+			return nil, fmt.Errorf("hello link block size %d: %w", size, ErrBadLength)
+		}
+		lb := LinkBlock{Code: code}
+		for p := off + 4; p < off+size; p += 4 {
+			lb.Neighbors = append(lb.Neighbors, addr.Node(binary.BigEndian.Uint32(b[p:])))
+		}
+		h.Links = append(h.Links, lb)
+		off += size
+	}
+	return h, nil
+}
+
+// SymNeighbors returns every address advertised with a symmetric or MPR
+// neighbor type — the advertised symmetric 1-hop neighborhood NS'(I) that
+// the detector compares against reality.
+func (h *Hello) SymNeighbors() addr.Set {
+	out := make(addr.Set)
+	for _, lb := range h.Links {
+		nt, lt := lb.Code.Split()
+		if nt == NeighSym || nt == NeighMPR || lt == LinkSym {
+			for _, n := range lb.Neighbors {
+				out.Add(n)
+			}
+		}
+	}
+	return out
+}
+
+// TC is the Topology Control message body (RFC 3626 §9.1): the sender (an
+// MPR) declares its advertised neighbor set (its MPR selectors).
+type TC struct {
+	ANSN       uint16 // advertised neighbor sequence number
+	Advertised []addr.Node
+}
+
+var _ Body = (*TC)(nil)
+
+// MsgType implements Body.
+func (*TC) MsgType() MessageType { return MsgTC }
+
+func (t *TC) encodedSize() int { return 4 + 4*len(t.Advertised) }
+
+func (t *TC) encodeTo(b []byte) {
+	binary.BigEndian.PutUint16(b, t.ANSN)
+	b[2], b[3] = 0, 0
+	off := 4
+	for _, n := range t.Advertised {
+		binary.BigEndian.PutUint32(b[off:], uint32(n))
+		off += 4
+	}
+}
+
+func decodeTC(b []byte) (*TC, error) {
+	if len(b) < 4 || (len(b)-4)%4 != 0 {
+		return nil, fmt.Errorf("tc body length %d: %w", len(b), ErrBadBody)
+	}
+	t := &TC{ANSN: binary.BigEndian.Uint16(b)}
+	for p := 4; p < len(b); p += 4 {
+		t.Advertised = append(t.Advertised, addr.Node(binary.BigEndian.Uint32(b[p:])))
+	}
+	return t, nil
+}
+
+// MID is the Multiple Interface Declaration body (RFC 3626 §5.1): the other
+// interface addresses of the originator.
+type MID struct {
+	Interfaces []addr.Node
+}
+
+var _ Body = (*MID)(nil)
+
+// MsgType implements Body.
+func (*MID) MsgType() MessageType { return MsgMID }
+
+func (m *MID) encodedSize() int { return 4 * len(m.Interfaces) }
+
+func (m *MID) encodeTo(b []byte) {
+	off := 0
+	for _, n := range m.Interfaces {
+		binary.BigEndian.PutUint32(b[off:], uint32(n))
+		off += 4
+	}
+}
+
+func decodeMID(b []byte) (*MID, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mid body length %d: %w", len(b), ErrBadBody)
+	}
+	m := &MID{}
+	for p := 0; p < len(b); p += 4 {
+		m.Interfaces = append(m.Interfaces, addr.Node(binary.BigEndian.Uint32(b[p:])))
+	}
+	return m, nil
+}
+
+// HNANetwork is one (network, netmask) pair announced in an HNA message.
+type HNANetwork struct {
+	Network addr.Node
+	Mask    addr.Node
+}
+
+// HNA is the Host and Network Association body (RFC 3626 §12.1): external
+// routes reachable through the originator (a gateway).
+type HNA struct {
+	Networks []HNANetwork
+}
+
+var _ Body = (*HNA)(nil)
+
+// MsgType implements Body.
+func (*HNA) MsgType() MessageType { return MsgHNA }
+
+func (h *HNA) encodedSize() int { return 8 * len(h.Networks) }
+
+func (h *HNA) encodeTo(b []byte) {
+	off := 0
+	for _, nw := range h.Networks {
+		binary.BigEndian.PutUint32(b[off:], uint32(nw.Network))
+		binary.BigEndian.PutUint32(b[off+4:], uint32(nw.Mask))
+		off += 8
+	}
+}
+
+func decodeHNA(b []byte) (*HNA, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("hna body length %d: %w", len(b), ErrBadBody)
+	}
+	h := &HNA{}
+	for p := 0; p < len(b); p += 8 {
+		h.Networks = append(h.Networks, HNANetwork{
+			Network: addr.Node(binary.BigEndian.Uint32(b[p:])),
+			Mask:    addr.Node(binary.BigEndian.Uint32(b[p+4:])),
+		})
+	}
+	return h, nil
+}
+
+// RawBody carries an unknown message type opaquely, as RFC 3626 §3.4
+// requires unknown messages to still be forwarded.
+type RawBody struct {
+	Type MessageType
+	Data []byte
+}
+
+var _ Body = (*RawBody)(nil)
+
+// MsgType implements Body.
+func (r *RawBody) MsgType() MessageType { return r.Type }
+
+func (r *RawBody) encodedSize() int { return len(r.Data) }
+
+func (r *RawBody) encodeTo(b []byte) { copy(b, r.Data) }
+
+// msgHeaderLen is the fixed common message header size (RFC 3626 §3.3).
+const msgHeaderLen = 12
+
+// Message is one OLSR message: the common header plus a typed body.
+type Message struct {
+	VTime      time.Duration // validity time of the carried information
+	Originator addr.Node
+	TTL        uint8
+	HopCount   uint8
+	Seq        uint16 // message sequence number (per originator)
+	Body       Body
+}
+
+// Type returns the message type from the body.
+func (m *Message) Type() MessageType { return m.Body.MsgType() }
+
+func (m *Message) encodedSize() int { return msgHeaderLen + m.Body.encodedSize() }
+
+func (m *Message) encodeTo(b []byte) {
+	b[0] = byte(m.Body.MsgType())
+	b[1] = EncodeVTime(m.VTime)
+	binary.BigEndian.PutUint16(b[2:], uint16(m.encodedSize())) //nolint:gosec // bounded
+	binary.BigEndian.PutUint32(b[4:], uint32(m.Originator))
+	b[8] = m.TTL
+	b[9] = m.HopCount
+	binary.BigEndian.PutUint16(b[10:], m.Seq)
+	m.Body.encodeTo(b[msgHeaderLen:])
+}
+
+func decodeMessage(b []byte) (Message, int, error) {
+	if len(b) < msgHeaderLen {
+		return Message{}, 0, fmt.Errorf("message header: %w", ErrTruncated)
+	}
+	size := int(binary.BigEndian.Uint16(b[2:]))
+	if size < msgHeaderLen || size > len(b) {
+		return Message{}, 0, fmt.Errorf("message size %d with %d available: %w", size, len(b), ErrBadLength)
+	}
+	m := Message{
+		VTime:      DecodeVTime(b[1]),
+		Originator: addr.Node(binary.BigEndian.Uint32(b[4:])),
+		TTL:        b[8],
+		HopCount:   b[9],
+		Seq:        binary.BigEndian.Uint16(b[10:]),
+	}
+	body := b[msgHeaderLen:size]
+	var err error
+	switch MessageType(b[0]) {
+	case MsgHello:
+		m.Body, err = decodeHello(body)
+	case MsgTC:
+		m.Body, err = decodeTC(body)
+	case MsgMID:
+		m.Body, err = decodeMID(body)
+	case MsgHNA:
+		m.Body, err = decodeHNA(body)
+	default:
+		data := make([]byte, len(body))
+		copy(data, body)
+		m.Body = &RawBody{Type: MessageType(b[0]), Data: data}
+	}
+	if err != nil {
+		return Message{}, 0, err
+	}
+	return m, size, nil
+}
+
+// pktHeaderLen is the fixed packet header size (RFC 3626 §3.3).
+const pktHeaderLen = 4
+
+// Packet is one OLSR packet: a sequence number and one or more messages.
+type Packet struct {
+	Seq      uint16
+	Messages []Message
+}
+
+// Encode serializes the packet in RFC 3626 wire format.
+func (p *Packet) Encode() []byte {
+	size := pktHeaderLen
+	for i := range p.Messages {
+		size += p.Messages[i].encodedSize()
+	}
+	b := make([]byte, size)
+	binary.BigEndian.PutUint16(b, uint16(size)) //nolint:gosec // bounded by caller
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	off := pktHeaderLen
+	for i := range p.Messages {
+		p.Messages[i].encodeTo(b[off:])
+		off += p.Messages[i].encodedSize()
+	}
+	return b
+}
+
+// DecodePacket parses an RFC 3626 packet. It returns an error for any
+// truncation or length inconsistency.
+func DecodePacket(b []byte) (*Packet, error) {
+	if len(b) < pktHeaderLen {
+		return nil, fmt.Errorf("packet header: %w", ErrTruncated)
+	}
+	length := int(binary.BigEndian.Uint16(b))
+	if length != len(b) {
+		return nil, fmt.Errorf("packet length %d but %d bytes: %w", length, len(b), ErrBadLength)
+	}
+	p := &Packet{Seq: binary.BigEndian.Uint16(b[2:])}
+	off := pktHeaderLen
+	for off < len(b) {
+		m, n, err := decodeMessage(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		p.Messages = append(p.Messages, m)
+		off += n
+	}
+	return p, nil
+}

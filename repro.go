@@ -1,0 +1,63 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	M. Alattar, F. Sailhan, J. Bourgeois,
+//	"Trust-enabled Link Spoofing Detection in MANET",
+//	WWASN @ IEEE ICDCS 2012 Workshops, pp. 237-244.
+//
+// It bundles, as one library:
+//
+//   - a deterministic discrete-event MANET simulator (event kernel,
+//     mobility models, wireless medium) — internal/sim, mobility, radio;
+//   - a complete RFC 3626 OLSR implementation with audit logging —
+//     internal/olsr, wire, auditlog;
+//   - the paper's log- and signature-based intrusion detector with
+//     cooperative investigations — internal/logevent, signature, detect;
+//   - the entropy-based trust system of §IV (Eq. 5–10) — internal/trust;
+//   - the attacks of §II-B/§III-A (link spoofing ×3, black/gray hole,
+//     storm, replay, liars) — internal/attack;
+//   - the evaluation harness reproducing Figures 1–3 and the extension
+//     experiments of DESIGN.md — internal/experiment.
+//
+// This root package is a thin facade: it re-exports the experiment entry
+// points that the benchmarks, examples and command-line tools share. The
+// full API lives in the internal packages; see README.md for a map.
+package repro
+
+import (
+	"repro/internal/experiment"
+	"repro/internal/trust"
+)
+
+// ScenarioConfig is the §V evaluation scenario configuration.
+type ScenarioConfig = experiment.Config
+
+// DefaultScenario returns the paper's §V setup: 16 nodes, 1 attacker,
+// 4 liars, 25 investigation rounds.
+func DefaultScenario() ScenarioConfig { return experiment.DefaultConfig() }
+
+// TrustParams are the trust-system constants (Eq. 5–10).
+type TrustParams = trust.Params
+
+// DefaultTrustParams returns the calibrated constants used throughout the
+// reproduction (see DESIGN.md §2 for the calibration rationale).
+func DefaultTrustParams() TrustParams { return trust.DefaultParams() }
+
+// Figure1 regenerates the data behind the paper's Figure 1
+// (trustworthiness under sustained attack).
+func Figure1(cfg ScenarioConfig) *experiment.Fig1Result { return experiment.RunFig1(cfg) }
+
+// Figure2 regenerates the data behind Figure 2 (forgetting-factor
+// relaxation after the attack ceases).
+func Figure2(cfg ScenarioConfig) *experiment.Fig2Result { return experiment.RunFig2(cfg) }
+
+// Figure3 regenerates the data behind Figure 3 (impact of liars on the
+// detection value) for the given liar counts.
+func Figure3(cfg ScenarioConfig, liarCounts []int) *experiment.Fig3Result {
+	return experiment.RunFig3(cfg, liarCounts)
+}
+
+// FullStack runs the packet-level end-to-end scenario: OLSR over the
+// simulated radio, a link-spoofing attacker, and the victim's detector.
+func FullStack(cfg experiment.FullStackConfig) *experiment.FullStackResult {
+	return experiment.RunFullStack(cfg)
+}

@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func TestFacadeFigures(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.Rounds = 10
+
+	f1 := Figure1(cfg)
+	if f1.Table.Rows() != 11 {
+		t.Errorf("Figure1 rows = %d", f1.Table.Rows())
+	}
+	f2 := Figure2(cfg)
+	if f2.Table.Rows() != 11 {
+		t.Errorf("Figure2 rows = %d", f2.Table.Rows())
+	}
+	f3 := Figure3(cfg, []int{2})
+	if len(f3.Final) != 1 {
+		t.Errorf("Figure3 series = %d", len(f3.Final))
+	}
+}
+
+func TestFacadeTrustParams(t *testing.T) {
+	p := DefaultTrustParams()
+	if p.Default != 0.4 || p.Gamma != 0.6 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestFacadeFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full stack run")
+	}
+	r := FullStack(experiment.FullStackConfig{
+		Seed:     1,
+		Duration: 4 * time.Minute,
+		AttackAt: 45 * time.Second,
+	})
+	if !r.Convicted {
+		t.Errorf("facade full stack did not convict: %s", r)
+	}
+}
