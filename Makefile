@@ -1,0 +1,34 @@
+# Development targets. CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: check fmt vet build test test-short race bench clean
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/experiment/ ./
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

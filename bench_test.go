@@ -10,6 +10,8 @@ package repro
 // EXPERIMENTS.md records the series and the paper-vs-measured comparison.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -126,6 +128,64 @@ func BenchmarkXBaselineAttacks(b *testing.B) {
 		if !res.StormFlagged {
 			b.Fatal("storm undetected")
 		}
+	}
+}
+
+// --- parallel experiment engine (DESIGN.md §6) ---
+
+// engineWorkerCounts are the pool sizes the engine benchmarks compare.
+// On multicore hardware the higher counts should show near-linear
+// speedup; the output is bit-identical at every count.
+func engineWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkEngineCISweep scales the X3 confidence-interval sweep across
+// worker counts: 9 sweep points × 50 trials of cheap numeric tasks, the
+// fine-grained end of the engine's workload spectrum.
+func BenchmarkEngineCISweep(b *testing.B) {
+	for _, workers := range engineWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := experiment.NewRunner(1, workers)
+			for i := 0; i < b.N; i++ {
+				eng.CISweep([]float64{0.90, 0.95, 0.99}, []int{30, 100, 300}, 0.26)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFigures scales the Figures 1–3 fan-out (trustlab
+// -figure all): two single-scenario tasks plus five Figure 3 liar counts.
+func BenchmarkEngineFigures(b *testing.B) {
+	cfg := experiment.DefaultConfig()
+	for _, workers := range engineWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := experiment.NewRunner(cfg.Seed, workers)
+			for i := 0; i < b.N; i++ {
+				eng.Figures(cfg, []int{1, 2, 4, 6, 7})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineOverheadSweep scales the X2 sweep: four packet-level
+// simulations per iteration, the coarse-grained end where each task is a
+// whole discrete-event run and speedup should track the worker count.
+func BenchmarkEngineOverheadSweep(b *testing.B) {
+	for _, workers := range engineWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := experiment.NewRunner(1, workers)
+			for i := 0; i < b.N; i++ {
+				pts := eng.OverheadSweep([]int{8, 8, 8, 8})
+				if pts[0].OLSRMessages == 0 {
+					b.Fatal("no routing traffic")
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,11 @@
 //	idsbench -sweep ci          # X3: confidence-interval behaviour
 //	idsbench -sweep ablation    # X4: Eq. 8 with vs without trust weights
 //	idsbench -sweep baselines   # X5: storm/replay/drop signature coverage
+//
+// Sweeps run on the parallel experiment engine (DESIGN.md §6): -workers
+// sets the pool size (default GOMAXPROCS) and -seed the root seed every
+// per-trial seed is derived from, so results are identical at any worker
+// count.
 package main
 
 import (
@@ -24,19 +29,18 @@ func main() {
 
 func run() error {
 	var (
-		sweep = flag.String("sweep", "ablation", "mobility, size, ci, ablation or baselines")
-		seed  = flag.Int64("seed", 1, "random seed")
-		runs  = flag.Int("runs", 3, "seeds per point (mobility sweep)")
+		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation or baselines")
+		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
+		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	eng := experiment.NewRunner(*seed, *workers)
+
 	switch *sweep {
 	case "mobility":
-		seeds := make([]int64, *runs)
-		for i := range seeds {
-			seeds[i] = *seed + int64(i)
-		}
-		pts := experiment.RunMobilitySweep(seeds, []float64{0, 1, 2, 5, 10})
+		pts := eng.MobilitySweep(*runs, []float64{0, 1, 2, 5, 10})
 		fmt.Println("X1: detection vs mobility (random waypoint)")
 		fmt.Printf("%8s %10s %12s %14s\n", "speed", "detected", "meanDelay", "falsePositives")
 		for _, p := range pts {
@@ -45,7 +49,7 @@ func run() error {
 		}
 
 	case "size":
-		pts := experiment.RunOverheadSweep(*seed, []int{8, 16, 24, 32, 48})
+		pts := eng.OverheadSweep([]int{8, 16, 24, 32, 48})
 		fmt.Println("X2: overhead vs network size (2 simulated minutes)")
 		fmt.Printf("%6s %10s %10s %12s %10s\n", "nodes", "olsrMsgs", "ctrlMsgs", "ctrl/node", "logRecs")
 		for _, p := range pts {
@@ -56,7 +60,7 @@ func run() error {
 	case "ci":
 		fmt.Println("X3: confidence interval (liar fraction 26%)")
 		fmt.Printf("%6s %4s %10s %14s %12s\n", "cl", "n", "margin", "unrecognized", "meanDetect")
-		pts := experiment.RunCISweep(*seed, []float64{0.90, 0.95, 0.99}, []int{5, 15, 45, 135}, 0.26)
+		pts := eng.CISweep([]float64{0.90, 0.95, 0.99}, []int{5, 15, 45, 135}, 0.26)
 		for _, p := range pts {
 			fmt.Printf("%6.2f %4d %10.4f %13.0f%% %12.3f\n",
 				p.Level, p.N, p.Margin, 100*p.UnrecognizedFrac, p.MeanDetect)
@@ -65,13 +69,13 @@ func run() error {
 	case "ablation":
 		cfg := experiment.DefaultConfig()
 		cfg.Seed = *seed
-		res := experiment.RunAblation(cfg)
+		res := eng.Ablation(cfg)
 		fmt.Print(res.Table.Render())
 		fmt.Printf("\nfinal: trust-weighted %.3f vs uniform %.3f\n", res.FinalWeighted, res.FinalUniform)
 		fmt.Println("(the trust weighting is what drives Detect toward -1 as liars lose standing)")
 
 	case "baselines":
-		res := experiment.RunBaselines(*seed)
+		res := eng.Baselines()
 		fmt.Println("X5: baseline attack signature coverage")
 		fmt.Printf("  broadcast storm flagged: %v\n", res.StormFlagged)
 		fmt.Printf("  replay flagged:          %v\n", res.ReplayFlagged)

@@ -5,9 +5,12 @@
 //	manetsim                                 # 16 static nodes, phantom spoof
 //	manetsim -attack claim -speed 2          # claim spoof, 2 m/s waypoint
 //	manetsim -attack none -duration 2m      # honest network
+//	manetsim -trials 8 -workers 4           # 8 seeded trials on 4 workers
 //
 // It prints a detection report: signature alerts, investigation rounds,
-// the final verdict, and traffic statistics.
+// the final verdict, and traffic statistics. With -trials > 1 the
+// scenario is repeated with per-trial seeds derived from -seed on the
+// parallel experiment engine (DESIGN.md §6) and a summary is appended.
 package main
 
 import (
@@ -29,13 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed (root seed with -trials > 1)")
 		nodes    = flag.Int("nodes", 16, "population size")
 		speed    = flag.Float64("speed", 0, "max node speed in m/s (0 = static)")
 		duration = flag.Duration("duration", 4*time.Minute, "simulated time")
 		attackAt = flag.Duration("attack-at", time.Minute, "when the attack starts")
 		attackS  = flag.String("attack", "phantom", "attack: phantom, claim, omit or none")
 		liars    = flag.Int("liars", 0, "colluding liars answering investigations falsely")
+		trials   = flag.Int("trials", 1, "independent seeded runs of the scenario")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -70,7 +75,48 @@ func run() error {
 
 	fmt.Printf("manetsim: %d nodes, speed %.1f m/s, attack=%s at %s, %d liars, seed %d\n",
 		*nodes, *speed, *attackS, *attackAt, *liars, *seed)
-	res := experiment.RunFullStack(cfg)
+
+	eng := experiment.NewRunner(*seed, *workers)
+	if *trials <= 1 {
+		report(eng.FullStack(cfg))
+		return nil
+	}
+
+	// Repeated trials: fan the scenario out with derived per-trial seeds
+	// and summarize. Trial 0 reuses the root seed verbatim so a -trials 1
+	// run is reproducible as the first trial of a larger campaign.
+	results := make([]*experiment.FullStackResult, *trials)
+	eng.ForEach(*trials, func(i int) {
+		c := cfg
+		if i > 0 {
+			c.Seed = eng.TaskSeed("manetsim-trial", 0, i)
+		}
+		results[i] = experiment.RunFullStack(c)
+	})
+	detected, falsePos := 0, 0
+	var totalDelay time.Duration
+	for i, res := range results {
+		fmt.Printf("trial %2d: %s\n", i, res)
+		switch {
+		case res.Convicted:
+			detected++
+			totalDelay += res.DetectionDelay
+		case res.FalsePositive:
+			falsePos++
+		}
+	}
+	fmt.Println()
+	fmt.Println("== campaign summary ==")
+	fmt.Printf("  detected:        %d/%d\n", detected, *trials)
+	fmt.Printf("  false positives: %d/%d\n", falsePos, *trials)
+	if detected > 0 {
+		fmt.Printf("  mean delay:      %s\n", totalDelay/time.Duration(detected))
+	}
+	return nil
+}
+
+// report prints the single-run detection report.
+func report(res *experiment.FullStackResult) {
 	fmt.Println()
 	fmt.Println("== detection report ==")
 	fmt.Printf("  convicted:        %v\n", res.Convicted)
@@ -83,5 +129,4 @@ func run() error {
 	fmt.Println("== traffic ==")
 	fmt.Printf("  OLSR frames:      %d\n", res.OLSRMessages)
 	fmt.Printf("  control frames:   %d\n", res.CtrlMessages)
-	return nil
 }

@@ -8,6 +8,10 @@
 //
 // The output is the per-round data the paper plots, plus the shape checks
 // recorded in EXPERIMENTS.md.
+//
+// Figures are regenerated on the parallel experiment engine (DESIGN.md
+// §6); -workers sets the pool size and the output is identical at any
+// worker count.
 package main
 
 import (
@@ -29,13 +33,14 @@ func main() {
 
 func run() error {
 	var (
-		figure = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
-		seed   = flag.Int64("seed", 1, "random seed")
-		nodes  = flag.Int("nodes", 16, "population size (paper: 16)")
-		liars  = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
-		rounds = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
-		loss   = flag.Float64("loss", 0.1, "probability an answer is lost")
-		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
+		figure  = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
+		seed    = flag.Int64("seed", 1, "random seed")
+		nodes   = flag.Int("nodes", 16, "population size (paper: 16)")
+		liars   = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
+		rounds  = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
+		loss    = flag.Float64("loss", 0.1, "probability an answer is lost")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,6 +50,8 @@ func run() error {
 	cfg.Liars = *liars
 	cfg.Rounds = *rounds
 	cfg.NonAnswerProb = *loss
+
+	eng := experiment.NewRunner(*seed, *workers)
 
 	render := func(t *metrics.Table) {
 		if *csv {
@@ -58,9 +65,30 @@ func run() error {
 	want := func(f string) bool { return *figure == "all" || *figure == f }
 	ran := false
 
-	if want("1") {
+	// With -figure all the three figures run as one engine fan-out; single
+	// figures still go through the pool (Figure 3 fans its liar counts).
+	fig3Counts := []int{1, 4, 7}
+	var f1 *experiment.Fig1Result
+	var f2 *experiment.Fig2Result
+	var f3 *experiment.Fig3Result
+	if *figure == "all" {
+		all := eng.Figures(cfg, fig3Counts)
+		f1, f2, f3 = all.Fig1, all.Fig2, all.Fig3
+	} else {
+		if want("1") {
+			f1 = eng.Fig1(cfg)
+		}
+		if want("2") {
+			f2 = eng.Fig2(cfg)
+		}
+		if want("3") {
+			f3 = eng.Fig3(cfg, fig3Counts)
+		}
+	}
+
+	if f1 != nil {
 		ran = true
-		res := experiment.RunFig1(cfg)
+		res := f1
 		render(res.Table)
 		fmt.Printf("shape: liar final max = %.3f (paper: near 0 regardless of initial trust)\n",
 			res.LiarFinalMax)
@@ -68,18 +96,18 @@ func run() error {
 		fmt.Printf("shape: lowest-initial honest node %.2f -> %.2f (paper: \"gains a little\")\n\n",
 			res.HonestLowGain.Initial, res.HonestLowGain.Final)
 	}
-	if want("2") {
+	if f2 != nil {
 		ran = true
-		res := experiment.RunFig2(cfg)
+		res := f2
 		render(res.Table)
 		fmt.Printf("shape: high/medium initial reached the %.1f default = %v\n",
 			cfg.Params.Default, res.HighReachedDefault)
 		fmt.Printf("shape: low initial still below default = %v (paper: \"recovered slowly\")\n\n",
 			res.LowStillBelow)
 	}
-	if want("3") {
+	if f3 != nil {
 		ran = true
-		res := experiment.RunFig3(cfg, []int{1, 4, 7})
+		res := f3
 		render(res.Table)
 		names := make([]string, 0, len(res.Final))
 		for name := range res.Final {

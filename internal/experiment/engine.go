@@ -1,0 +1,136 @@
+// Worker-pool experiment engine (DESIGN.md §6).
+//
+// Every experiment in this package decomposes into independent tasks —
+// one per (sweep, point, trial) triple — and the Runner fans those tasks
+// out across a bounded pool of goroutines. Determinism is preserved by
+// construction: no task reads a shared random stream. Instead each task
+// derives its own seed by hashing (rootSeed, sweepID, pointIndex,
+// trialIndex) with DeriveSeed, so the numbers a task draws depend only on
+// its coordinates, never on which worker ran it or in which order.
+// Results are written into an index-addressed slice, making the collected
+// output bit-identical whether the pool has 1 worker or 64.
+
+package experiment
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DeriveSeed maps a task's coordinates to an independent RNG seed:
+// FNV-1a over (root, sweep, point, trial) followed by a SplitMix64
+// finalizer for avalanche, so adjacent coordinates yield uncorrelated
+// streams. The function is pure and stable: the same inputs produce the
+// same seed on every platform and in every process, which is what makes
+// parallel runs bit-identical to serial ones (see TestDeriveSeedStable).
+func DeriveSeed(root int64, sweep string, point, trial int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(root))
+	h.Write(buf[:])
+	h.Write([]byte(sweep))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(point)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(trial)))
+	h.Write(buf[:])
+	s := h.Sum64()
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return int64(s)
+}
+
+// Runner executes experiment tasks on a worker pool. The zero value is
+// ready to use: RootSeed 0 and as many workers as GOMAXPROCS. A Runner is
+// stateless between calls and safe for concurrent use.
+type Runner struct {
+	// RootSeed is the root of the seed-derivation tree for runners that
+	// generate their own trials (CISweep, MobilitySweep, OverheadSweep):
+	// each such task's seed is DeriveSeed(RootSeed, sweep, point, trial).
+	// Runners parameterized by a scenario config (Fig1–Fig3, Figures,
+	// Ablation, CIAccumulationAblation, FullStack) take their seed from
+	// the config instead, so a given Config reproduces the same scenario
+	// on any runner; Baselines seeds its single run from RootSeed
+	// directly.
+	RootSeed int64
+	// Workers bounds the goroutine pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewRunner returns a Runner with the given root seed and worker count
+// (workers <= 0 selects GOMAXPROCS).
+func NewRunner(rootSeed int64, workers int) *Runner {
+	return &Runner{RootSeed: rootSeed, Workers: workers}
+}
+
+// workerCount resolves the effective pool size.
+func (r *Runner) workerCount() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// TaskSeed derives the seed for one (sweep, point, trial) task under this
+// runner's root seed.
+func (r *Runner) TaskSeed(sweep string, point, trial int) int64 {
+	var root int64
+	if r != nil {
+		root = r.RootSeed
+	}
+	return DeriveSeed(root, sweep, point, trial)
+}
+
+// mapTasks runs fn(0..n-1) on up to workers goroutines and returns the
+// results in index order. Tasks are claimed from an atomic counter, so the
+// pool stays busy even when task costs are skewed; because results land at
+// their own index and every task is self-seeded, scheduling order cannot
+// influence the output.
+func mapTasks[T any](workers, n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEach runs fn for every index in [0, n) on the pool. It is the
+// untyped convenience over mapTasks for callers that collect results
+// themselves (into index-addressed storage — never via shared mutable
+// state, which would reintroduce schedule dependence).
+func (r *Runner) ForEach(n int, fn func(i int)) {
+	mapTasks(r.workerCount(), n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

@@ -195,6 +195,17 @@ type Fig1Result struct {
 // RunFig1 reproduces Figure 1: trust evolution over Rounds investigation
 // rounds, as seen by the attacked node, with attack and lying sustained.
 func RunFig1(cfg Config) *Fig1Result {
+	return NewRunner(cfg.Seed, 0).Fig1(cfg)
+}
+
+// Fig1 runs the Figure 1 reproduction as one engine task, executed
+// inline. A single scenario is inherently sequential (each round feeds
+// the trust store the next round reads), so it is never subdivided;
+// parallelism comes from running it alongside other figure and sweep
+// points (see Figures).
+func (r *Runner) Fig1(cfg Config) *Fig1Result { return runFig1(cfg) }
+
+func runFig1(cfg Config) *Fig1Result {
 	p := NewPopulation(cfg)
 	table := metrics.NewTable("Fig 1: Trustworthiness (attack sustained)", "round")
 	tracked := p.trackedNodes()
@@ -251,6 +262,14 @@ type Fig2Result struct {
 // factor. Nodes with high or medium initial trust reach the default within
 // the run; low-trust nodes recover slowly.
 func RunFig2(cfg Config) *Fig2Result {
+	return NewRunner(cfg.Seed, 0).Fig2(cfg)
+}
+
+// Fig2 runs the Figure 2 reproduction as one engine task, executed
+// inline (see Fig1 for why a single scenario is not subdivided).
+func (r *Runner) Fig2(cfg Config) *Fig2Result { return runFig2(cfg) }
+
+func runFig2(cfg Config) *Fig2Result {
 	p := NewPopulation(cfg)
 	table := metrics.NewTable("Fig 2: Impact of the forgetting factor (attack ceased)", "round")
 	tracked := p.trackedNodes()
@@ -302,23 +321,78 @@ type Fig3Result struct {
 // percentages; the closest integer counts out of 16 nodes are used and
 // both are printed.
 func RunFig3(cfg Config, liarCounts []int) *Fig3Result {
+	return NewRunner(cfg.Seed, 0).Fig3(cfg, liarCounts)
+}
+
+// fig3Series runs one Figure 3 sweep point: the Fig-3 scenario with the
+// given liar count, returning the per-round Eq. 8 detection values.
+func fig3Series(cfg Config, liars int) []float64 {
+	c := cfg
+	c.Liars = liars
+	p := NewPopulation(c)
+	vals := make([]float64, 0, c.Rounds)
+	for rd := 0; rd < c.Rounds; rd++ {
+		vals = append(vals, p.Round())
+	}
+	return vals
+}
+
+// assembleFig3 reduces the per-liar-count series (in liarCounts order)
+// into the figure table and its shape checks.
+func assembleFig3(cfg Config, liarCounts []int, series [][]float64) *Fig3Result {
 	table := metrics.NewTable("Fig 3: Impact of liars on the detection", "round")
 	res := &Fig3Result{
 		Table:          table,
 		RoundToMinus04: make(map[string]int),
 		Final:          make(map[string]float64),
 	}
-	for _, liars := range liarCounts {
-		c := cfg
-		c.Liars = liars
-		p := NewPopulation(c)
-		name := fmt.Sprintf("liars=%d(%.1f%%)", liars, 100*float64(liars)/float64(c.Nodes))
+	for i, liars := range liarCounts {
+		name := fmt.Sprintf("liars=%d(%.1f%%)", liars, 100*float64(liars)/float64(cfg.Nodes))
 		s := table.Series(name)
-		for r := 0; r < c.Rounds; r++ {
-			s.Append(p.Round())
+		for _, v := range series[i] {
+			s.Append(v)
 		}
 		res.RoundToMinus04[name] = s.FirstRoundBelow(-0.4)
 		res.Final[name] = s.Last()
 	}
+	return res
+}
+
+// Fig3 fans the liar counts out as independent engine tasks — each count
+// is one sweep point with its own Population — and assembles the table in
+// liarCounts order, so the result is identical at any worker count.
+func (r *Runner) Fig3(cfg Config, liarCounts []int) *Fig3Result {
+	series := mapTasks(r.workerCount(), len(liarCounts), func(i int) []float64 {
+		return fig3Series(cfg, liarCounts[i])
+	})
+	return assembleFig3(cfg, liarCounts, series)
+}
+
+// FiguresResult bundles one run of all three figure reproductions.
+type FiguresResult struct {
+	Fig1 *Fig1Result
+	Fig2 *Fig2Result
+	Fig3 *Fig3Result
+}
+
+// Figures regenerates Figures 1–3 in one fan-out: the two single-scenario
+// figures and every Figure 3 liar count become sibling tasks on one flat
+// pool, so `trustlab -figure all` fills all cores instead of running the
+// figures back to back. Fig3 sub-results land at fixed task indices and
+// are assembled in liarCounts order afterwards.
+func (r *Runner) Figures(cfg Config, liarCounts []int) *FiguresResult {
+	res := &FiguresResult{}
+	fig3Vals := make([][]float64, len(liarCounts))
+	r.ForEach(2+len(liarCounts), func(i int) {
+		switch i {
+		case 0:
+			res.Fig1 = runFig1(cfg)
+		case 1:
+			res.Fig2 = runFig2(cfg)
+		default:
+			fig3Vals[i-2] = fig3Series(cfg, liarCounts[i-2])
+		}
+	})
+	res.Fig3 = assembleFig3(cfg, liarCounts, fig3Vals)
 	return res
 }

@@ -77,6 +77,18 @@ type FullStackResult struct {
 // node, liars among the attacker's neighbors-by-index), runs it, and
 // summarizes detection performance.
 func RunFullStack(cfg FullStackConfig) *FullStackResult {
+	return NewRunner(cfg.Seed, 0).FullStack(cfg)
+}
+
+// FullStack runs one packet-level scenario as one engine task, executed
+// inline. The discrete-event kernel inside is single-threaded by design
+// (see internal/sim), so a run is never subdivided; sweeps parallelize
+// across runs instead.
+func (r *Runner) FullStack(cfg FullStackConfig) *FullStackResult {
+	return runFullStack(cfg)
+}
+
+func runFullStack(cfg FullStackConfig) *FullStackResult {
 	cfg = cfg.withDefaults()
 	w := core.NewNetwork(core.Config{
 		Seed:  cfg.Seed,
@@ -103,7 +115,7 @@ func RunFullStack(cfg FullStackConfig) *FullStackResult {
 		id := addr.NodeAt(i)
 		var pos mobility.Model = mobility.Static{P: pts[i-1]}
 		if cfg.Speed > 0 {
-			pos = mobility.NewRandomWaypoint(cfg.Seed+int64(i)*1000, mobility.WaypointConfig{
+			pos = mobility.NewRandomWaypoint(DeriveSeed(cfg.Seed, "fullstack-waypoint", i, 0), mobility.WaypointConfig{
 				Arena:    arena,
 				Start:    pts[i-1],
 				MinSpeed: cfg.Speed / 2,
@@ -174,20 +186,60 @@ type MobilityPoint struct {
 	MeanDelay      time.Duration // over true detections
 }
 
+// mobilitySweepID tags X1 task seeds in the DeriveSeed tree.
+const mobilitySweepID = "x1-mobility"
+
 // RunMobilitySweep measures detection rate, latency and false positives
-// across node speeds.
+// across node speeds, one packet-level run per (speed, seed) pair. The
+// caller picks the seeds explicitly; MobilitySweep derives them from the
+// runner's root seed instead.
 func RunMobilitySweep(seeds []int64, speeds []float64) []MobilityPoint {
+	var root int64
+	if len(seeds) > 0 {
+		root = seeds[0]
+	}
+	r := NewRunner(root, 0)
+	return r.mobilitySweep(speeds, len(seeds), func(point, trial int) int64 {
+		return seeds[trial]
+	})
+}
+
+// MobilitySweep fans runs×len(speeds) packet-level simulations onto the
+// pool, deriving every trial's seed from the root seed so distinct sweep
+// points never share a random stream.
+func (r *Runner) MobilitySweep(runs int, speeds []float64) []MobilityPoint {
+	return r.mobilitySweep(speeds, runs, func(point, trial int) int64 {
+		return r.TaskSeed(mobilitySweepID, point, trial)
+	})
+}
+
+// mobilitySweep is the shared fan-out: the task grid is speeds × trials,
+// flattened point-major, and the per-trial results are reduced into
+// per-speed points in index order.
+func (r *Runner) mobilitySweep(speeds []float64, runs int, seedFor func(point, trial int) int64) []MobilityPoint {
+	if runs <= 0 || len(speeds) == 0 {
+		return nil
+	}
+	results := mapTasks(r.workerCount(), len(speeds)*runs, func(task int) *FullStackResult {
+		point, trial := task/runs, task%runs
+		return runFullStack(FullStackConfig{
+			Seed:     seedFor(point, trial),
+			Speed:    speeds[point],
+			Duration: 4 * time.Minute,
+		})
+	})
+
 	out := make([]MobilityPoint, 0, len(speeds))
-	for _, speed := range speeds {
-		p := MobilityPoint{Speed: speed, Runs: len(seeds)}
+	for pi, speed := range speeds {
+		p := MobilityPoint{Speed: speed, Runs: runs}
 		var total time.Duration
-		for _, seed := range seeds {
-			r := RunFullStack(FullStackConfig{Seed: seed, Speed: speed, Duration: 4 * time.Minute})
+		for trial := 0; trial < runs; trial++ {
+			res := results[pi*runs+trial]
 			switch {
-			case r.Convicted:
+			case res.Convicted:
 				p.Detected++
-				total += r.DetectionDelay
-			case r.FalsePositive:
+				total += res.DetectionDelay
+			case res.FalsePositive:
 				p.FalsePositives++
 			}
 		}
@@ -214,55 +266,67 @@ type OverheadPoint struct {
 // RunOverheadSweep measures control-plane and routing overhead versus
 // network size.
 func RunOverheadSweep(seed int64, sizes []int) []OverheadPoint {
-	out := make([]OverheadPoint, 0, len(sizes))
-	for _, n := range sizes {
-		w := core.NewNetwork(core.Config{
-			Seed:  seed,
-			Radio: radio.Config{Prop: radio.UnitDisk{Range: 200}, PropDelay: time.Millisecond},
-		})
-		// Keep the grid pitch near 110 m regardless of population, so the
-		// network stays connected while its diameter grows with n.
-		cols := math.Ceil(math.Sqrt(float64(n)))
-		side := 110 * cols
-		arena := geo.Arena(side, side)
-		pts := mobility.GridPlacement(arena, n)
-		known := make(addr.Set, n)
-		for i := 1; i <= n; i++ {
-			known.Add(addr.NodeAt(i))
-		}
-		phantom := addr.NodeAt(n + 83)
-		spoofer := &attack.LinkSpoofer{Mode: attack.SpoofPhantom, Target: phantom}
-		start := 30 * time.Second
-		spoofer.Active = func() bool { return w.Sched.Now() >= start }
-		for i := 1; i <= n; i++ {
-			id := addr.NodeAt(i)
-			spec := core.NodeSpec{ID: id, Pos: mobility.Static{P: pts[i-1]}}
-			if i == 1 {
-				spec.Detector = &detect.Config{KnownNodes: known.Clone()}
-			}
-			if i == n {
-				spec.Spoofer = spoofer
-				spec.Pos = mobility.Static{P: pts[0].Add(geo.Vec{X: 100})}
-			}
-			w.AddNode(spec)
-		}
-		w.Start()
-		w.RunFor(2 * time.Minute)
+	return NewRunner(seed, 0).OverheadSweep(sizes)
+}
 
-		logRecords := 0
-		for _, id := range w.Nodes() {
-			logRecords += w.Node(id).Logs.Len()
-		}
-		ctrl := w.CtrlStats().Sent
-		out = append(out, OverheadPoint{
-			Nodes:        n,
-			CtrlMessages: ctrl,
-			OLSRMessages: w.Medium.Stats().FramesSent - ctrl,
-			CtrlPerNode:  float64(ctrl) / float64(n),
-			LogRecords:   logRecords,
-		})
+// overheadSweepID tags X2 task seeds in the DeriveSeed tree.
+const overheadSweepID = "x2-size"
+
+// OverheadSweep fans the network sizes out as independent sweep points,
+// each a full packet-level simulation with its own derived seed.
+func (r *Runner) OverheadSweep(sizes []int) []OverheadPoint {
+	return mapTasks(r.workerCount(), len(sizes), func(i int) OverheadPoint {
+		return overheadPoint(r.TaskSeed(overheadSweepID, i, 0), sizes[i])
+	})
+}
+
+// overheadPoint measures one network size for two simulated minutes.
+func overheadPoint(seed int64, n int) OverheadPoint {
+	w := core.NewNetwork(core.Config{
+		Seed:  seed,
+		Radio: radio.Config{Prop: radio.UnitDisk{Range: 200}, PropDelay: time.Millisecond},
+	})
+	// Keep the grid pitch near 110 m regardless of population, so the
+	// network stays connected while its diameter grows with n.
+	cols := math.Ceil(math.Sqrt(float64(n)))
+	side := 110 * cols
+	arena := geo.Arena(side, side)
+	pts := mobility.GridPlacement(arena, n)
+	known := make(addr.Set, n)
+	for i := 1; i <= n; i++ {
+		known.Add(addr.NodeAt(i))
 	}
-	return out
+	phantom := addr.NodeAt(n + 83)
+	spoofer := &attack.LinkSpoofer{Mode: attack.SpoofPhantom, Target: phantom}
+	start := 30 * time.Second
+	spoofer.Active = func() bool { return w.Sched.Now() >= start }
+	for i := 1; i <= n; i++ {
+		id := addr.NodeAt(i)
+		spec := core.NodeSpec{ID: id, Pos: mobility.Static{P: pts[i-1]}}
+		if i == 1 {
+			spec.Detector = &detect.Config{KnownNodes: known.Clone()}
+		}
+		if i == n {
+			spec.Spoofer = spoofer
+			spec.Pos = mobility.Static{P: pts[0].Add(geo.Vec{X: 100})}
+		}
+		w.AddNode(spec)
+	}
+	w.Start()
+	w.RunFor(2 * time.Minute)
+
+	logRecords := 0
+	for _, id := range w.Nodes() {
+		logRecords += w.Node(id).Logs.Len()
+	}
+	ctrl := w.CtrlStats().Sent
+	return OverheadPoint{
+		Nodes:        n,
+		CtrlMessages: ctrl,
+		OLSRMessages: w.Medium.Stats().FramesSent - ctrl,
+		CtrlPerNode:  float64(ctrl) / float64(n),
+		LogRecords:   logRecords,
+	}
 }
 
 // X5: baseline attacks — the §II-B attacks beyond link spoofing, detected
@@ -278,6 +342,15 @@ type BaselineResult struct {
 // RunBaselines exercises the storm, replay and black-hole attacks on a
 // small line topology and reports signature coverage.
 func RunBaselines(seed int64) *BaselineResult {
+	return NewRunner(seed, 0).Baselines()
+}
+
+// Baselines runs the X5 baseline-attack scenario as one engine task,
+// executed inline and seeded directly by the root seed (one point, one
+// trial).
+func (r *Runner) Baselines() *BaselineResult { return runBaselines(r.RootSeed) }
+
+func runBaselines(seed int64) *BaselineResult {
 	w := core.NewNetwork(core.Config{
 		Seed:  seed,
 		Radio: radio.Config{Prop: radio.UnitDisk{Range: 120}, PropDelay: time.Millisecond},

@@ -31,59 +31,104 @@ type CIPoint struct {
 // ciTrials is the number of evidence draws averaged per sweep point.
 const ciTrials = 50
 
+// ciSweepID tags X3 task seeds in the DeriveSeed tree.
+const ciSweepID = "x3-ci"
+
+// ciTrialResult is one evidence draw's contribution to a sweep point.
+type ciTrialResult struct {
+	margin, detect float64
+	unrecognized   bool
+	valid          bool
+}
+
+// ciTrial performs one synthetic evidence draw: honest deny (-1), liars
+// confirm (+1), uniform trusts.
+func ciTrial(rng *rand.Rand, cl float64, n int, liarFrac float64) ciTrialResult {
+	obs := make([]trust.Observation, n)
+	for i := range obs {
+		e := -1.0
+		if rng.Float64() < liarFrac {
+			e = 1
+		}
+		obs[i] = trust.Observation{Trust: 0.2 + 0.6*rng.Float64(), Evidence: e}
+	}
+	detectVal, ok := trust.Detect(obs)
+	if !ok {
+		return ciTrialResult{}
+	}
+	var sumT float64
+	for _, o := range obs {
+		sumT += o.Trust
+	}
+	meanT := sumT / float64(n)
+	samples := make([]float64, n)
+	for i, o := range obs {
+		samples[i] = o.Trust * o.Evidence / meanT
+	}
+	iv, err := trust.ConfidenceInterval(samples, cl)
+	if err != nil {
+		return ciTrialResult{}
+	}
+	return ciTrialResult{
+		margin:       iv.Margin,
+		detect:       detectVal,
+		unrecognized: trust.Decide(detectVal, iv.Margin, 0.6) == trust.Unrecognized,
+		valid:        true,
+	}
+}
+
 // RunCISweep samples investigation populations with the given liar
 // fraction and returns the mean margin and unrecognized-zone occupancy per
 // (confidence level, sample size).
 func RunCISweep(seed int64, levels []float64, sizes []int, liarFrac float64) []CIPoint {
-	rng := rand.New(rand.NewSource(seed)) //nolint:gosec // experiment
-	var out []CIPoint
+	return NewRunner(seed, 0).CISweep(levels, sizes, liarFrac)
+}
+
+// CISweep fans the full (point × trial) grid onto the pool: every
+// (confidence level, sample size) pair is a sweep point, every evidence
+// draw within it an independent trial seeded by TaskSeed, and the trial
+// contributions are reduced into per-point means in index order.
+func (r *Runner) CISweep(levels []float64, sizes []int, liarFrac float64) []CIPoint {
+	type point struct {
+		cl float64
+		n  int
+	}
+	var pts []point
 	for _, cl := range levels {
 		for _, n := range sizes {
-			var sumMargin, sumDetect float64
-			unrecognized := 0
-			for trial := 0; trial < ciTrials; trial++ {
-				// One synthetic evidence draw: honest deny (-1), liars
-				// confirm (+1), uniform trusts.
-				obs := make([]trust.Observation, n)
-				for i := range obs {
-					e := -1.0
-					if rng.Float64() < liarFrac {
-						e = 1
-					}
-					obs[i] = trust.Observation{Trust: 0.2 + 0.6*rng.Float64(), Evidence: e}
-				}
-				detectVal, ok := trust.Detect(obs)
-				if !ok {
-					continue
-				}
-				var sumT float64
-				for _, o := range obs {
-					sumT += o.Trust
-				}
-				meanT := sumT / float64(n)
-				samples := make([]float64, n)
-				for i, o := range obs {
-					samples[i] = o.Trust * o.Evidence / meanT
-				}
-				iv, err := trust.ConfidenceInterval(samples, cl)
-				if err != nil {
-					continue
-				}
-				sumMargin += iv.Margin
-				sumDetect += detectVal
-				if trust.Decide(detectVal, iv.Margin, 0.6) == trust.Unrecognized {
-					unrecognized++
-				}
-			}
-			out = append(out, CIPoint{
-				Level:            cl,
-				N:                n,
-				LiarFrac:         liarFrac,
-				Margin:           sumMargin / ciTrials,
-				UnrecognizedFrac: float64(unrecognized) / ciTrials,
-				MeanDetect:       sumDetect / ciTrials,
-			})
+			pts = append(pts, point{cl, n})
 		}
+	}
+
+	trials := mapTasks(r.workerCount(), len(pts)*ciTrials, func(task int) ciTrialResult {
+		pi, trial := task/ciTrials, task%ciTrials
+		rng := rand.New(rand.NewSource(r.TaskSeed(ciSweepID, pi, trial))) //nolint:gosec // experiment
+		return ciTrial(rng, pts[pi].cl, pts[pi].n, liarFrac)
+	})
+
+	out := make([]CIPoint, 0, len(pts))
+	for pi, pt := range pts {
+		var sumMargin, sumDetect float64
+		unrecognized := 0
+		for trial := 0; trial < ciTrials; trial++ {
+			tr := trials[pi*ciTrials+trial]
+			if !tr.valid {
+				continue
+			}
+			sumMargin += tr.margin
+			sumDetect += tr.detect
+			if tr.unrecognized {
+				unrecognized++
+			}
+		}
+		out = append(out, CIPoint{
+			Level:            pt.cl,
+			N:                pt.n,
+			LiarFrac:         liarFrac,
+			Margin:           sumMargin / ciTrials,
+			UnrecognizedFrac: float64(unrecognized) / ciTrials,
+			MeanDetect:       sumDetect / ciTrials,
+		})
 	}
 	return out
 }
@@ -114,6 +159,17 @@ type CIAccumulationResult struct {
 // RunCIAccumulationAblation replays the Fig-3 evidence stream and decides
 // each round with both interval policies.
 func RunCIAccumulationAblation(cfg Config) CIAccumulationResult {
+	return NewRunner(cfg.Seed, 0).CIAccumulationAblation(cfg)
+}
+
+// CIAccumulationAblation runs the X4b ablation as one engine task,
+// executed inline: the two policies share one evidence stream round by
+// round, so the scenario cannot be split without replaying it.
+func (r *Runner) CIAccumulationAblation(cfg Config) CIAccumulationResult {
+	return runCIAccumulationAblation(cfg)
+}
+
+func runCIAccumulationAblation(cfg Config) CIAccumulationResult {
 	res := CIAccumulationResult{CumulativeRound: -1, SingleRound: -1}
 	p := NewPopulation(cfg)
 	var hist []float64
@@ -172,19 +228,54 @@ type AblationResult struct {
 // and once with all responder trusts frozen at 1 (uniform weights, no
 // learning).
 func RunAblation(cfg Config) *AblationResult {
+	return NewRunner(cfg.Seed, 0).Ablation(cfg)
+}
+
+// Ablation runs the two X4 arms — trust-weighted and uniform — as sibling
+// engine tasks. Both arms build their own Population from the same config
+// (same seed, hence the same liar placement and loss draws), so they are
+// independent and can run concurrently.
+func (r *Runner) Ablation(cfg Config) *AblationResult {
+	arms := make([][]float64, 2)
+	r.ForEach(2, func(i int) {
+		if i == 0 {
+			arms[0] = ablationWeightedArm(cfg)
+		} else {
+			arms[1] = ablationUniformArm(cfg)
+		}
+	})
+
 	table := metrics.NewTable("X4: Trust weighting ablation", "round")
-
-	// Weighted: the real system.
-	p := NewPopulation(cfg)
 	weighted := table.Series("trust-weighted")
-	for r := 0; r < cfg.Rounds; r++ {
-		weighted.Append(p.Round())
+	for _, v := range arms[0] {
+		weighted.Append(v)
 	}
-
-	// Uniform: identical evidence stream, trusts pinned to 1 and no
-	// feedback applied.
-	q := NewPopulation(cfg) // same seed: same liar placement and loss draws
 	uniform := table.Series("uniform-weights")
+	for _, v := range arms[1] {
+		uniform.Append(v)
+	}
+	return &AblationResult{
+		Table:         table,
+		FinalWeighted: weighted.Last(),
+		FinalUniform:  uniform.Last(),
+	}
+}
+
+// ablationWeightedArm runs the real system: Eq. 8 with learned weights.
+func ablationWeightedArm(cfg Config) []float64 {
+	p := NewPopulation(cfg)
+	vals := make([]float64, 0, cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		vals = append(vals, p.Round())
+	}
+	return vals
+}
+
+// ablationUniformArm replays the identical evidence stream with trusts
+// pinned to 1 and no feedback applied.
+func ablationUniformArm(cfg Config) []float64 {
+	q := NewPopulation(cfg)
+	vals := make([]float64, 0, cfg.Rounds)
 	for r := 0; r < cfg.Rounds; r++ {
 		obs := make([]trust.Observation, 0, len(q.Responders)+1)
 		obs = append(obs, trust.Observation{Source: q.Observer, Trust: 1, Evidence: -1})
@@ -199,12 +290,7 @@ func RunAblation(cfg Config) *AblationResult {
 			obs = append(obs, trust.Observation{Source: resp, Trust: 1, Evidence: e})
 		}
 		v, _ := trust.Detect(obs)
-		uniform.Append(v)
+		vals = append(vals, v)
 	}
-
-	return &AblationResult{
-		Table:         table,
-		FinalWeighted: weighted.Last(),
-		FinalUniform:  uniform.Last(),
-	}
+	return vals
 }

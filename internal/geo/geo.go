@@ -1,4 +1,13 @@
-// Package geo provides the 2-D geometry used by mobility and radio models.
+// Package geo provides the 2-D geometry shared by the mobility and radio
+// models: points and vectors on the simulation plane (meters), distance
+// and interpolation helpers, and the rectangular Arena that bounds node
+// placement and movement.
+//
+// Positions are continuous; nothing here snaps to a grid. The radio
+// layer consumes only distances (propagation is range-based, see
+// internal/radio), and the mobility layer consumes Arena for clamping
+// and waypoint sampling, so this package is the full extent of spatial
+// modeling in the reproduction (DESIGN.md §2.2).
 package geo
 
 import (

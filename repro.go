@@ -61,3 +61,17 @@ func Figure3(cfg ScenarioConfig, liarCounts []int) *experiment.Fig3Result {
 func FullStack(cfg experiment.FullStackConfig) *experiment.FullStackResult {
 	return experiment.RunFullStack(cfg)
 }
+
+// Engine is the parallel experiment runner (DESIGN.md §6): a worker pool
+// that fans sweep points and trials out across cores while keeping
+// results bit-identical to a serial run, because no task reads a shared
+// random stream. Sweeps that generate their own trials derive each task
+// seed from (rootSeed, sweepID, pointIndex, trialIndex); scenario-config
+// runners (Figures, FullStack) are seeded by their config.
+type Engine = experiment.Runner
+
+// NewEngine returns an Engine with the given root seed and worker count
+// (workers <= 0 selects GOMAXPROCS).
+func NewEngine(rootSeed int64, workers int) *Engine {
+	return experiment.NewRunner(rootSeed, workers)
+}

@@ -1,0 +1,43 @@
+package repro
+
+// Tooling regression tests: the tree must stay `go vet`-clean and
+// gofmt-formatted. CI runs the same checks (see Makefile and
+// .github/workflows/ci.yml); these tests catch drift locally, where CI
+// may never run.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestGoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	out, err := exec.Command(goBin, "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./... failed: %v\n%s", err, out)
+	}
+}
+
+func TestGofmtClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the gofmt tool")
+	}
+	gofmt, err := exec.LookPath("gofmt")
+	if err != nil {
+		t.Skip("gofmt not in PATH")
+	}
+	out, err := exec.Command(gofmt, "-l", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gofmt -l .: %v\n%s", err, out)
+	}
+	if files := strings.TrimSpace(string(out)); files != "" {
+		t.Errorf("files need gofmt:\n%s", files)
+	}
+}
