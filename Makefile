@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update fuzz clean
 
 check: fmt vet build test
 
@@ -25,10 +25,23 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiment/ ./
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Golden regression corpus: every scenario preset's metrics digest is
+# pinned under testdata/golden/ (see golden_test.go). `make golden`
+# verifies, `make golden-update` re-records after an intentional change.
+golden:
+	$(GO) test -run TestGoldenCorpus -count=1 .
+
+golden-update:
+	$(GO) test -run TestGoldenCorpus -update-golden -count=1 .
+
+# Short local fuzz pass over the wire codec (CI runs the same budget).
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/wire
 
 clean:
 	$(GO) clean ./...

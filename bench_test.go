@@ -21,6 +21,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/olsr"
 	"repro/internal/radio"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trust"
 	"repro/internal/wire"
@@ -260,6 +261,41 @@ func BenchmarkOLSRConvergence(b *testing.B) {
 		if len(nodes[0].Routes()) == 0 {
 			b.Fatal("no routes after convergence")
 		}
+	}
+}
+
+// BenchmarkScenarioLinkspoof runs the headline scenario preset end to
+// end: the per-preset cost that bounds the golden corpus' CI time.
+func BenchmarkScenarioLinkspoof(b *testing.B) {
+	spec, err := scenario.Resolve("linkspoof")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Suspects[0].ConvictedAt < 0 {
+			b.Fatal("spoofer not convicted")
+		}
+	}
+}
+
+// BenchmarkScenarioMatrix regenerates the whole golden corpus on the
+// parallel engine — what CI's golden job pays per PR.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	specs := scenario.PacketPresets()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.NewRunner(0, workers).ScenarioMatrix(specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@
 //	idsbench -sweep ci          # X3: confidence-interval behaviour
 //	idsbench -sweep ablation    # X4: Eq. 8 with vs without trust weights
 //	idsbench -sweep baselines   # X5: storm/replay/drop signature coverage
+//	idsbench -sweep scenarios   # X6: the scenario preset matrix + digests
 //
 // Sweeps run on the parallel experiment engine (DESIGN.md §6): -workers
 // sets the pool size (default GOMAXPROCS) and -seed the root seed every
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation or baselines")
+		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines or scenarios")
 		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
 		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -81,8 +83,40 @@ func run() error {
 		fmt.Printf("  replay flagged:          %v\n", res.ReplayFlagged)
 		fmt.Printf("  black-hole trust damage: %.3f below default\n", res.DropTrustDamage)
 
+	case "scenarios":
+		// The whole preset matrix in one parallel campaign. With the
+		// default -seed the presets run under their own embedded seeds —
+		// the same digests CI's golden job pins under testdata/golden/;
+		// an explicit -seed reseeds every preset for a fresh campaign.
+		specs := scenario.PacketPresets()
+		if flagPassed("seed") {
+			for i := range specs {
+				specs[i].Seed = *seed
+			}
+		}
+		digests, err := eng.ScenarioMatrix(specs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("X6: scenario preset matrix (internal/scenario)")
+		fmt.Printf("%-18s %-16s\n", "scenario", "digest")
+		for i, d := range digests {
+			fmt.Printf("%-18s %-16s\n", specs[i].Name, d.Hash)
+		}
+
 	default:
 		return fmt.Errorf("unknown -sweep %q", *sweep)
 	}
 	return nil
+}
+
+// flagPassed reports whether the named flag was set explicitly.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
 }

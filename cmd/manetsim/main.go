@@ -7,6 +7,17 @@
 //	manetsim -attack none -duration 2m      # honest network
 //	manetsim -trials 8 -workers 4           # 8 seeded trials on 4 workers
 //
+// Declarative scenarios (internal/scenario) name a topology, mobility
+// and radio model, attack mix, and duration in one data structure:
+//
+//	manetsim list                            # named presets
+//	manetsim -scenario grayhole              # run a preset
+//	manetsim -scenario ./my-scenario.json    # run a spec file
+//	manetsim -scenario wormhole -trials 8    # seeded scenario campaign
+//
+// Every scenario run prints its canonical metrics digest; the preset
+// digests are pinned under testdata/golden/ and enforced by CI.
+//
 // It prints a detection report: signature alerts, investigation rounds,
 // the final verdict, and traffic statistics. With -trials > 1 the
 // scenario is repeated with per-trial seeds derived from -seed on the
@@ -21,12 +32,30 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/experiment"
+	"repro/internal/scenario"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "list" {
+		listScenarios()
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "manetsim:", err)
 		os.Exit(1)
+	}
+}
+
+// listScenarios prints the preset registry.
+func listScenarios() {
+	fmt.Println("named scenario presets (run with -scenario <name>):")
+	for _, s := range scenario.Presets() {
+		d := s.WithDefaults()
+		kind := d.Kind
+		if kind == scenario.KindRounds {
+			kind += " (use trustlab)"
+		}
+		fmt.Printf("  %-18s %-22s %s\n", s.Name, kind, s.Description)
 	}
 }
 
@@ -41,8 +70,14 @@ func run() error {
 		liars    = flag.Int("liars", 0, "colluding liars answering investigations falsely")
 		trials   = flag.Int("trials", 1, "independent seeded runs of the scenario")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		scenName = flag.String("scenario", "", "named preset or spec file (see `manetsim list`)")
 	)
 	flag.Parse()
+
+	eng := experiment.NewRunner(*seed, *workers)
+	if *scenName != "" {
+		return runScenario(eng, *scenName, *seed, *trials, flagPassed("seed"))
+	}
 
 	var mode attack.SpoofMode
 	switch *attackS {
@@ -76,7 +111,6 @@ func run() error {
 	fmt.Printf("manetsim: %d nodes, speed %.1f m/s, attack=%s at %s, %d liars, seed %d\n",
 		*nodes, *speed, *attackS, *attackAt, *liars, *seed)
 
-	eng := experiment.NewRunner(*seed, *workers)
 	if *trials <= 1 {
 		report(eng.FullStack(cfg))
 		return nil
@@ -129,4 +163,74 @@ func report(res *experiment.FullStackResult) {
 	fmt.Println("== traffic ==")
 	fmt.Printf("  OLSR frames:      %d\n", res.OLSRMessages)
 	fmt.Printf("  control frames:   %d\n", res.CtrlMessages)
+}
+
+// flagPassed reports whether the named flag was set explicitly.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+// runScenario resolves and executes a declarative scenario campaign.
+func runScenario(eng *experiment.Runner, name string, seed int64, trials int, seedSet bool) error {
+	spec, err := scenario.Resolve(name)
+	if err != nil {
+		return err
+	}
+	if spec.WithDefaults().Kind == scenario.KindRounds {
+		return fmt.Errorf("scenario %q is a rounds scenario; run it with trustlab -scenario %s", spec.Name, name)
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
+
+	results, err := eng.ScenarioTrials(spec, trials)
+	if err != nil {
+		return err
+	}
+	scenarioReport(results[0])
+	if trials <= 1 {
+		return nil
+	}
+	fmt.Println()
+	fmt.Println("== campaign summary ==")
+	for i, res := range results {
+		fmt.Printf("trial %2d (seed %20d): digest %s\n", i, res.Seed, res.Digest().Hash)
+	}
+	return nil
+}
+
+// scenarioReport prints one scenario result with its digest.
+func scenarioReport(res *scenario.Result) {
+	fmt.Println()
+	fmt.Println("== scenario report ==")
+	fmt.Printf("  simulated:        %s (%d events)\n", res.SimTime, res.Events)
+	fmt.Printf("  frames sent:      %d (%d delivered, %d lost)\n",
+		res.Frames.FramesSent, res.Frames.FramesDelivered, res.Frames.FramesLost)
+	fmt.Printf("  control frames:   %d\n", res.Ctrl.Sent)
+	fmt.Printf("  log records:      %d\n", res.LogRecords)
+	fmt.Printf("  investigations:   %d rounds\n", res.Investigations)
+	for _, a := range res.Alerts {
+		fmt.Printf("  alert %-18s %d\n", a.Rule+":", a.Count)
+	}
+	for _, s := range res.Suspects {
+		verdict := "not convicted"
+		switch {
+		case s.FalsePositive:
+			verdict = fmt.Sprintf("FALSE POSITIVE at %s", s.ConvictedAt)
+		case s.ConvictedAt >= 0:
+			verdict = fmt.Sprintf("convicted at %s (%s after attack start)", s.ConvictedAt, s.ConvictedAt-s.AttackAt)
+		}
+		fmt.Printf("  suspect node %-3d %-10s trust %.3f — %s\n", s.Node, s.Kind, s.FinalTrust, verdict)
+		for _, c := range s.Counters {
+			fmt.Printf("    %s: %d\n", c.Name, c.Value)
+		}
+	}
+	fmt.Printf("  digest:           %s\n", res.Digest().Hash)
 }

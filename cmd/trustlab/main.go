@@ -5,6 +5,7 @@
 //	trustlab -figure 2          # Fig 2: forgetting-factor relaxation
 //	trustlab -figure 3          # Fig 3: impact of liars on detection
 //	trustlab -figure all -csv   # everything, as CSV
+//	trustlab -scenario paper-figures   # the same, from a rounds scenario spec
 //
 // The output is the per-round data the paper plots, plus the shape checks
 // recorded in EXPERIMENTS.md.
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -33,14 +35,15 @@ func main() {
 
 func run() error {
 	var (
-		figure  = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
-		seed    = flag.Int64("seed", 1, "random seed")
-		nodes   = flag.Int("nodes", 16, "population size (paper: 16)")
-		liars   = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
-		rounds  = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
-		loss    = flag.Float64("loss", 0.1, "probability an answer is lost")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		figure   = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
+		seed     = flag.Int64("seed", 1, "random seed")
+		nodes    = flag.Int("nodes", 16, "population size (paper: 16)")
+		liars    = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
+		rounds   = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
+		loss     = flag.Float64("loss", 0.1, "probability an answer is lost")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		scenName = flag.String("scenario", "", "rounds-kind scenario preset or spec file (e.g. paper-figures)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,33 @@ func run() error {
 
 	eng := experiment.NewRunner(*seed, *workers)
 
+	// With -figure all the three figures run as one engine fan-out; single
+	// figures still go through the pool (Figure 3 fans its liar counts).
+	fig3Counts := []int{1, 4, 7}
+
+	// A declarative scenario overrides the ad-hoc flags wholesale: the
+	// spec names the population, liar count, rounds, answer loss, trust
+	// constants and the Figure-3 liar sweep. An explicit -seed still
+	// wins, so seeded campaigns over one spec stay a one-flag affair.
+	if *scenName != "" {
+		spec, err := scenario.Resolve(*scenName)
+		if err != nil {
+			return err
+		}
+		if flagPassed("seed") {
+			spec.Seed = *seed
+		}
+		converted, err := experiment.ConfigFromSpec(spec)
+		if err != nil {
+			return fmt.Errorf("trustlab runs rounds scenarios only (packet scenarios go through manetsim): %w", err)
+		}
+		cfg = converted
+		if spec.Rounds != nil && len(spec.Rounds.LiarCounts) > 0 {
+			fig3Counts = spec.Rounds.LiarCounts
+		}
+		fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
+	}
+
 	render := func(t *metrics.Table) {
 		if *csv {
 			fmt.Print(t.CSV())
@@ -64,10 +94,6 @@ func run() error {
 
 	want := func(f string) bool { return *figure == "all" || *figure == f }
 	ran := false
-
-	// With -figure all the three figures run as one engine fan-out; single
-	// figures still go through the pool (Figure 3 fans its liar counts).
-	fig3Counts := []int{1, 4, 7}
 	var f1 *experiment.Fig1Result
 	var f2 *experiment.Fig2Result
 	var f3 *experiment.Fig3Result
@@ -123,4 +149,15 @@ func run() error {
 		return fmt.Errorf("unknown -figure %q (want 1, 2, 3 or all)", *figure)
 	}
 	return nil
+}
+
+// flagPassed reports whether the named flag was set explicitly.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
 }

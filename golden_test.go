@@ -1,0 +1,90 @@
+package repro
+
+// The golden regression corpus: every packet-kind scenario preset is run
+// and its canonical metrics digest compared byte-for-byte against the
+// checked-in file under testdata/golden/. The matrix runs twice — on a
+// single worker and on eight — and the two passes must agree exactly,
+// which pins the determinism contract of the parallel engine alongside
+// the scenario outcomes themselves.
+//
+// Regenerate after an intentional behavior change with
+//
+//	go test -run TestGoldenCorpus -update-golden .
+//
+// (or `make golden-update`) and review the diff like any other code.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from this run")
+
+const goldenDir = "testdata/golden"
+
+func TestGoldenCorpus(t *testing.T) {
+	specs := scenario.PacketPresets()
+	if len(specs) < 6 {
+		t.Fatalf("only %d packet presets — the corpus shrank", len(specs))
+	}
+
+	parallel, err := experiment.NewRunner(0, 8).ScenarioMatrix(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := experiment.NewRunner(0, 1).ScenarioMatrix(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, spec := range specs {
+		i, spec := i, spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if parallel[i] != serial[i] {
+				t.Fatalf("digest differs between 8 workers and 1 worker:\n--- workers=8\n%s\n--- workers=1\n%s",
+					parallel[i].Canonical, serial[i].Canonical)
+			}
+			got := parallel[i].GoldenFile()
+			path := filepath.Join(goldenDir, spec.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil { //nolint:gosec // test data
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for preset %q (run `make golden-update`): %v", spec.Name, err)
+			}
+			if got != string(want) {
+				t.Errorf("digest drifted from %s — if intentional, run `make golden-update` and commit the diff\n--- got\n%s--- want\n%s",
+					path, got, want)
+			}
+		})
+	}
+
+	// No stale files: every golden file must correspond to a live preset.
+	if !*updateGolden {
+		entries, err := os.ReadDir(goldenDir)
+		if err != nil {
+			t.Fatalf("read %s: %v", goldenDir, err)
+		}
+		live := map[string]bool{}
+		for _, s := range specs {
+			live[s.Name+".golden"] = true
+		}
+		for _, e := range entries {
+			if !live[e.Name()] {
+				t.Errorf("stale golden file %s has no matching preset", e.Name())
+			}
+		}
+	}
+}

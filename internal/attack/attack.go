@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/geo"
 	"repro/internal/olsr"
+	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -110,19 +112,28 @@ func (s *LinkSpoofer) Install(n *olsr.Node) {
 
 // BlackHole drops every message the node should forward as an MPR.
 type BlackHole struct {
+	// Active gates the attack; nil means always active.
+	Active func() bool
+
 	dropped uint64
 }
 
 // Dropped returns how many forwards were suppressed.
 func (b *BlackHole) Dropped() uint64 { return b.dropped }
 
-// Install registers the black hole on a node.
-func (b *BlackHole) Install(n *olsr.Node) {
-	n.SetHooks(olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+// Hooks returns the DropForward hook implementing the attack.
+func (b *BlackHole) Hooks() olsr.Hooks {
+	return olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+		if b.Active != nil && !b.Active() {
+			return false
+		}
 		b.dropped++
 		return true
-	}})
+	}}
 }
+
+// Install registers the black hole on a node.
+func (b *BlackHole) Install(n *olsr.Node) { n.SetHooks(b.Hooks()) }
 
 // GrayHole drops a configurable fraction of the messages it should
 // forward — the selective variant of the drop attack.
@@ -131,6 +142,8 @@ type GrayHole struct {
 	Ratio float64
 	// Rand supplies the drop decisions; required.
 	Rand *rand.Rand
+	// Active gates the attack; nil means always active.
+	Active func() bool
 
 	dropped, relayed uint64
 }
@@ -141,16 +154,136 @@ func (g *GrayHole) Dropped() uint64 { return g.dropped }
 // Relayed returns how many forwards were allowed through.
 func (g *GrayHole) Relayed() uint64 { return g.relayed }
 
-// Install registers the gray hole on a node.
-func (g *GrayHole) Install(n *olsr.Node) {
-	n.SetHooks(olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+// Hooks returns the DropForward hook implementing the attack.
+func (g *GrayHole) Hooks() olsr.Hooks {
+	return olsr.Hooks{DropForward: func(*wire.Message, addr.Node) bool {
+		if g.Active != nil && !g.Active() {
+			return false
+		}
 		if g.Rand.Float64() < g.Ratio {
 			g.dropped++
 			return true
 		}
 		g.relayed++
 		return false
-	}})
+	}}
+}
+
+// Install registers the gray hole on a node.
+func (g *GrayHole) Install(n *olsr.Node) { n.SetHooks(g.Hooks()) }
+
+// Wormhole is an out-of-band tunnel between two distant points of the
+// arena (the classic colluding-adversary attack of the routing-security
+// literature): each tunnel mouth records the link-layer broadcasts it
+// overhears and re-emits them verbatim at the opposite mouth, so nodes
+// near one mouth perceive nodes near the other as direct neighbors.
+// Because OLSR link sensing keys on the HELLO originator — not on the
+// link-layer sender — the mouths themselves stay invisible to the
+// routing layer: the fabricated links connect the victims directly.
+type Wormhole struct {
+	// MouthA and MouthB are the station ids of the two tunnel mouths.
+	// They must not collide with any real node address.
+	MouthA, MouthB addr.Node
+	// IgnoreFrom lists additional senders whose frames must not be
+	// tunneled — the mouths of every OTHER wormhole in the scenario.
+	// Without it, two tunnels whose mouths are in radio range of each
+	// other re-tunnel each other's output in an endless ping-pong.
+	IgnoreFrom addr.Set
+	// Delay is the extra tunnel latency applied to each relayed frame.
+	Delay time.Duration
+	// Active gates the tunnel; nil means always active.
+	Active func() bool
+
+	tunneled uint64
+}
+
+// Tunneled returns how many frames crossed the tunnel (both directions).
+func (w *Wormhole) Tunneled() uint64 { return w.tunneled }
+
+// Install attaches the two mouths to the medium at the given (possibly
+// moving) positions. Mouths only overhear broadcasts — like a passive
+// sniffer, they are never addressed directly — and they never relay each
+// other's output, so the tunnel cannot feed back on itself.
+func (w *Wormhole) Install(sched *sim.Scheduler, m *radio.Medium, posA, posB func() geo.Point) {
+	m.Attach(w.MouthA, posA, w.relay(sched, m, w.MouthB))
+	m.Attach(w.MouthB, posB, w.relay(sched, m, w.MouthA))
+}
+
+// relay returns the mouth handler that re-broadcasts overheard frames
+// from the opposite mouth.
+func (w *Wormhole) relay(sched *sim.Scheduler, m *radio.Medium, out addr.Node) radio.Handler {
+	return func(f radio.Frame) {
+		if f.From == w.MouthA || f.From == w.MouthB || w.IgnoreFrom.Has(f.From) {
+			return // tunnel output — ours, or another wormhole's
+		}
+		if w.Active != nil && !w.Active() {
+			return
+		}
+		w.tunneled++
+		payload := append([]byte(nil), f.Payload...)
+		to := f.To
+		sched.After(w.Delay, func() { m.Send(out, to, payload) })
+	}
+}
+
+// Colluders coordinates a group of colluding spoofers: every member
+// claim-advertises a link to the next member of the ring (Expression 2
+// applied in mutual support) and answers investigations about any fellow
+// member with lies — the combination of the §III-A spoofer and the §V
+// lying colluder in one adversary.
+type Colluders struct {
+	// Members are the colluding nodes, in ring order.
+	Members []addr.Node
+	// Active gates all members' spoofing; nil means always active.
+	Active func() bool
+
+	spoofers []*LinkSpoofer
+	liars    []*Liar
+}
+
+// NewColluders builds the coordinated group. mode selects the spoofing
+// variant of each member (0 defaults to SpoofClaim); member i spoofs
+// about member i+1 (mod n) and lies to protect every other member.
+func NewColluders(mode SpoofMode, members ...addr.Node) *Colluders {
+	if mode == 0 {
+		mode = SpoofClaim
+	}
+	c := &Colluders{Members: members}
+	group := addr.NewSet(members...)
+	for i, m := range members {
+		partner := members[(i+1)%len(members)]
+		sp := &LinkSpoofer{Mode: mode, Target: partner}
+		sp.Active = func() bool { return c.Active == nil || c.Active() }
+		protect := group.Clone()
+		protect.Remove(m)
+		c.spoofers = append(c.spoofers, sp)
+		c.liars = append(c.liars, &Liar{Protect: protect})
+	}
+	return c
+}
+
+// SpooferFor returns member i's link spoofer.
+func (c *Colluders) SpooferFor(i int) *LinkSpoofer { return c.spoofers[i] }
+
+// LiarFor returns member i's investigation liar.
+func (c *Colluders) LiarFor(i int) *Liar { return c.liars[i] }
+
+// Spoofed returns the total forged HELLOs across the group.
+func (c *Colluders) Spoofed() uint64 {
+	var n uint64
+	for _, s := range c.spoofers {
+		n += s.Spoofed()
+	}
+	return n
+}
+
+// Lies returns the total inverted answers across the group.
+func (c *Colluders) Lies() uint64 {
+	var n uint64
+	for _, l := range c.liars {
+		n += l.Lies()
+	}
+	return n
 }
 
 // Storm floods forged TC messages at a configurable rate, optionally

@@ -26,9 +26,11 @@ import (
 
 // Frame payload discriminators: the first byte of every radio payload
 // says whether it carries an OLSR packet or a control-plane message.
+// Exported so attack choreography outside the package (forged-TC storms,
+// replay of captured frames) can frame raw packets the same way.
 const (
-	payloadOLSR byte = 1
-	payloadCtrl byte = 2
+	PayloadOLSR byte = 1
+	PayloadCtrl byte = 2
 )
 
 // Config parameterizes a Network.
@@ -122,7 +124,7 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 	olsrCfg := spec.OLSR
 	olsrCfg.Addr = id
 	router := olsr.New(olsrCfg, w.Sched, func(b []byte) {
-		w.Medium.Send(id, addr.Broadcast, append([]byte{payloadOLSR}, b...))
+		w.Medium.Send(id, addr.Broadcast, append([]byte{PayloadOLSR}, b...))
 	}, logs)
 
 	n := &Node{
@@ -188,6 +190,11 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 // Node returns the node with the given id, or nil.
 func (w *Network) Node(id addr.Node) *Node { return w.nodes[id] }
 
+// Position returns the node's current location — the same sample the
+// medium takes at transmission time. Colocated attack hardware (wormhole
+// mouths, compromised emitters) keys off it.
+func (n *Node) Position() geo.Point { return n.pos.Position(n.net.Sched.Now()) }
+
 // Nodes returns the node ids in insertion order.
 func (w *Network) Nodes() []addr.Node {
 	out := make([]addr.Node, len(w.order))
@@ -228,9 +235,9 @@ func (n *Node) handleFrame(f radio.Frame) {
 	}
 	body := f.Payload[1:]
 	switch f.Payload[0] {
-	case payloadOLSR:
+	case PayloadOLSR:
 		n.Router.HandlePacket(f.From, body)
-	case payloadCtrl:
+	case PayloadCtrl:
 		n.handleCtrl(body)
 	}
 }

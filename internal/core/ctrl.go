@@ -106,7 +106,7 @@ func (n *Node) forwardCtrl(m *ctrlMsg) {
 		n.net.ctrlDropped++
 		return
 	}
-	n.net.Medium.Send(n.ID, next, append([]byte{payloadCtrl}, raw...))
+	n.net.Medium.Send(n.ID, next, append([]byte{PayloadCtrl}, raw...))
 }
 
 // handleCtrl processes a received control payload: deliver locally or

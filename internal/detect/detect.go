@@ -632,7 +632,23 @@ func (d *Detector) finalize(inv *investigation) {
 			d.noInfo[inv.suspect].Add(req.Responder)
 		}
 	}
-	sort.Slice(obs, func(i, j int) bool { return obs[i].Source < obs[j].Source })
+	// Total order, not just by Source: a responder interrogated about
+	// several links contributes one observation PER LINK, so Source alone
+	// leaves ties whose order would be inherited from map iteration. The
+	// tie order is load-bearing twice over — float summation in Detect is
+	// order-sensitive in the last bits, and the per-observation trust
+	// updates in applyVerdict do not commute (Eq. 5 interleaves α·e with
+	// the β decay) — so an underspecified sort here makes whole runs
+	// irreproducible.
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Source != obs[j].Source {
+			return obs[i].Source < obs[j].Source
+		}
+		if obs[i].Evidence != obs[j].Evidence {
+			return obs[i].Evidence < obs[j].Evidence
+		}
+		return obs[i].Trust < obs[j].Trust
+	})
 
 	detectVal, ok := trust.Detect(obs)
 	verdict := trust.Unrecognized

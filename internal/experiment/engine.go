@@ -13,36 +13,19 @@
 package experiment
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/scenario"
 )
 
-// DeriveSeed maps a task's coordinates to an independent RNG seed:
-// FNV-1a over (root, sweep, point, trial) followed by a SplitMix64
-// finalizer for avalanche, so adjacent coordinates yield uncorrelated
-// streams. The function is pure and stable: the same inputs produce the
-// same seed on every platform and in every process, which is what makes
-// parallel runs bit-identical to serial ones (see TestDeriveSeedStable).
+// DeriveSeed maps a task's coordinates to an independent RNG seed. The
+// implementation lives in internal/scenario (the scenario builder derives
+// per-node and per-attack streams from the same tree); this alias keeps
+// the engine's public surface unchanged (see TestDeriveSeedStable).
 func DeriveSeed(root int64, sweep string, point, trial int) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(root))
-	h.Write(buf[:])
-	h.Write([]byte(sweep))
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(point)))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(trial)))
-	h.Write(buf[:])
-	s := h.Sum64()
-	s ^= s >> 30
-	s *= 0xbf58476d1ce4e5b9
-	s ^= s >> 27
-	s *= 0x94d049bb133111eb
-	s ^= s >> 31
-	return int64(s)
+	return scenario.DeriveSeed(root, sweep, point, trial)
 }
 
 // Runner executes experiment tasks on a worker pool. The zero value is

@@ -5,16 +5,10 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/addr"
 	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/detect"
-	"repro/internal/geo"
 	"repro/internal/metrics"
-	"repro/internal/mobility"
-	"repro/internal/radio"
+	"repro/internal/scenario"
 	"repro/internal/trust"
-	"repro/internal/wire"
 )
 
 // Full-stack experiments (X1, X2, X5 of DESIGN.md §4): these run the
@@ -73,9 +67,57 @@ type FullStackResult struct {
 	FinalSpooferTru float64
 }
 
-// RunFullStack builds the scenario (victim = node 1, attacker = last
-// node, liars among the attacker's neighbors-by-index), runs it, and
-// summarizes detection performance.
+// Spec converts the config into the equivalent declarative scenario
+// (victim = node 1, attacker = last node pinned beside the victim, liars
+// among the victim's neighbors-by-index). The conversion is exact: the
+// scenario builder replays the same construction order and seed tree, so
+// a given config produces bit-identical runs through either surface.
+func (c FullStackConfig) Spec() scenario.Spec {
+	c = c.withDefaults()
+	mob := scenario.MobilitySpec{}
+	if c.Speed > 0 {
+		mob = scenario.MobilitySpec{
+			Model:    "waypoint",
+			MinSpeed: c.Speed / 2,
+			MaxSpeed: c.Speed,
+			Pause:    scenario.Dur(5 * time.Second),
+		}
+	}
+	return scenario.Spec{
+		Name:      "fullstack",
+		Seed:      c.Seed,
+		Nodes:     c.Nodes,
+		ArenaSide: c.ArenaSide,
+		Duration:  scenario.Dur(c.Duration),
+		Radio:     scenario.RadioSpec{Range: c.Range},
+		Mobility:  mob,
+		DetectAll: c.DetectAll,
+		Liars:     c.Liars,
+		Attacks: []scenario.AttackSpec{{
+			Kind:     "linkspoof",
+			Node:     c.Nodes,
+			Mode:     spoofModeName(c.SpoofMode),
+			At:       scenario.Dur(c.AttackAt),
+			Pin:      true,
+			DropCtrl: true,
+		}},
+	}
+}
+
+// spoofModeName renders a SpoofMode as the scenario-spec mode string.
+func spoofModeName(m attack.SpoofMode) string {
+	switch m {
+	case attack.SpoofClaim:
+		return "claim"
+	case attack.SpoofOmit:
+		return "omit"
+	default:
+		return "phantom"
+	}
+}
+
+// RunFullStack builds the scenario, runs it, and summarizes detection
+// performance.
 func RunFullStack(cfg FullStackConfig) *FullStackResult {
 	return NewRunner(cfg.Seed, 0).FullStack(cfg)
 }
@@ -90,84 +132,29 @@ func (r *Runner) FullStack(cfg FullStackConfig) *FullStackResult {
 
 func runFullStack(cfg FullStackConfig) *FullStackResult {
 	cfg = cfg.withDefaults()
-	w := core.NewNetwork(core.Config{
-		Seed:  cfg.Seed,
-		Radio: radio.Config{Prop: radio.UnitDisk{Range: cfg.Range}, PropDelay: time.Millisecond},
-	})
-	arena := geo.Arena(cfg.ArenaSide, cfg.ArenaSide)
-
-	victim := addr.NodeAt(1)
-	attacker := addr.NodeAt(cfg.Nodes)
-	phantom := addr.NodeAt(cfg.Nodes + 83)
-
-	known := make(addr.Set, cfg.Nodes)
-	for i := 1; i <= cfg.Nodes; i++ {
-		known.Add(addr.NodeAt(i))
+	sres, err := scenario.Run(cfg.Spec())
+	if err != nil {
+		// The conversion above always yields a valid spec; an error here
+		// is a bug in the conversion itself.
+		panic(err)
 	}
-
-	// Placement: a connected grid with the attacker adjacent to the
-	// victim; mobility jitters around the grid when Speed > 0.
-	pts := mobility.GridPlacement(arena, cfg.Nodes)
-	spoofer := &attack.LinkSpoofer{Mode: cfg.SpoofMode, Target: phantom}
-	spoofer.Active = func() bool { return w.Sched.Now() >= cfg.AttackAt }
-
-	for i := 1; i <= cfg.Nodes; i++ {
-		id := addr.NodeAt(i)
-		var pos mobility.Model = mobility.Static{P: pts[i-1]}
-		if cfg.Speed > 0 {
-			pos = mobility.NewRandomWaypoint(DeriveSeed(cfg.Seed, "fullstack-waypoint", i, 0), mobility.WaypointConfig{
-				Arena:    arena,
-				Start:    pts[i-1],
-				MinSpeed: cfg.Speed / 2,
-				MaxSpeed: cfg.Speed,
-				Pause:    5 * time.Second,
-			})
-		}
-		spec := core.NodeSpec{ID: id, Pos: pos}
-		if id == victim || cfg.DetectAll {
-			spec.Detector = &detect.Config{KnownNodes: known.Clone()}
-		}
-		if id == attacker {
-			spec.Spoofer = spoofer
-			spec.DropControl = true
-			spec.Pos = mobility.Static{P: pts[0].Add(geo.Vec{X: cfg.Range / 2})}
-		}
-		if i > 1 && i <= 1+cfg.Liars {
-			spec.Liar = &attack.Liar{Protect: addr.NewSet(attacker)}
-		}
-		w.AddNode(spec)
-	}
-	w.Start()
-
-	// Track when the victim convicts the attacker. A verdict landing
-	// before the attack even starts is a false positive, counted
-	// separately.
-	var convictedAt time.Duration = -1
-	step := 500 * time.Millisecond
-	for w.Sched.Now() < cfg.Duration {
-		w.RunFor(step)
-		if convictedAt < 0 {
-			if v, ok := w.Node(victim).Detector.Verdict(attacker); ok && v == trust.Intruder {
-				convictedAt = w.Sched.Now()
-			}
-		}
-	}
-
-	det := w.Node(victim).Detector
+	att := sres.Suspects[0]
 	res := &FullStackResult{
-		Investigations:  det.InvestigationCount(),
-		Alerts:          len(det.Alerts()),
-		CtrlMessages:    w.CtrlStats().Sent,
-		OLSRMessages:    w.Medium.Stats().FramesSent - w.CtrlStats().Sent,
-		FinalSpooferTru: w.Node(victim).Trust.Get(attacker),
+		Investigations:  sres.Investigations,
+		CtrlMessages:    sres.Ctrl.Sent,
+		OLSRMessages:    sres.Frames.FramesSent - sres.Ctrl.Sent,
+		FinalSpooferTru: att.FinalTrust,
+	}
+	for _, a := range sres.Alerts {
+		res.Alerts += a.Count
 	}
 	switch {
-	case convictedAt < 0:
-	case convictedAt < cfg.AttackAt:
+	case att.ConvictedAt < 0:
+	case att.FalsePositive:
 		res.FalsePositive = true
 	default:
 		res.Convicted = true
-		res.DetectionDelay = convictedAt - cfg.AttackAt
+		res.DetectionDelay = att.ConvictedAt - cfg.AttackAt
 	}
 	return res
 }
@@ -280,52 +267,41 @@ func (r *Runner) OverheadSweep(sizes []int) []OverheadPoint {
 	})
 }
 
+// overheadSpec is the declarative form of one X2 measurement point: a
+// phantom spoofer beside the victim on a grid whose pitch stays near
+// 110 m regardless of population, so the network stays connected while
+// its diameter grows with n.
+func overheadSpec(seed int64, n int) scenario.Spec {
+	cols := math.Ceil(math.Sqrt(float64(n)))
+	return scenario.Spec{
+		Name:      "overhead",
+		Seed:      seed,
+		Nodes:     n,
+		ArenaSide: 110 * cols,
+		Duration:  scenario.Dur(2 * time.Minute),
+		Radio:     scenario.RadioSpec{Range: 200},
+		Attacks: []scenario.AttackSpec{{
+			Kind: "linkspoof",
+			Node: n,
+			Mode: "phantom",
+			At:   scenario.Dur(30 * time.Second),
+			Pin:  true,
+		}},
+	}
+}
+
 // overheadPoint measures one network size for two simulated minutes.
 func overheadPoint(seed int64, n int) OverheadPoint {
-	w := core.NewNetwork(core.Config{
-		Seed:  seed,
-		Radio: radio.Config{Prop: radio.UnitDisk{Range: 200}, PropDelay: time.Millisecond},
-	})
-	// Keep the grid pitch near 110 m regardless of population, so the
-	// network stays connected while its diameter grows with n.
-	cols := math.Ceil(math.Sqrt(float64(n)))
-	side := 110 * cols
-	arena := geo.Arena(side, side)
-	pts := mobility.GridPlacement(arena, n)
-	known := make(addr.Set, n)
-	for i := 1; i <= n; i++ {
-		known.Add(addr.NodeAt(i))
+	res, err := scenario.Run(overheadSpec(seed, n))
+	if err != nil {
+		panic(err)
 	}
-	phantom := addr.NodeAt(n + 83)
-	spoofer := &attack.LinkSpoofer{Mode: attack.SpoofPhantom, Target: phantom}
-	start := 30 * time.Second
-	spoofer.Active = func() bool { return w.Sched.Now() >= start }
-	for i := 1; i <= n; i++ {
-		id := addr.NodeAt(i)
-		spec := core.NodeSpec{ID: id, Pos: mobility.Static{P: pts[i-1]}}
-		if i == 1 {
-			spec.Detector = &detect.Config{KnownNodes: known.Clone()}
-		}
-		if i == n {
-			spec.Spoofer = spoofer
-			spec.Pos = mobility.Static{P: pts[0].Add(geo.Vec{X: 100})}
-		}
-		w.AddNode(spec)
-	}
-	w.Start()
-	w.RunFor(2 * time.Minute)
-
-	logRecords := 0
-	for _, id := range w.Nodes() {
-		logRecords += w.Node(id).Logs.Len()
-	}
-	ctrl := w.CtrlStats().Sent
 	return OverheadPoint{
 		Nodes:        n,
-		CtrlMessages: ctrl,
-		OLSRMessages: w.Medium.Stats().FramesSent - ctrl,
-		CtrlPerNode:  float64(ctrl) / float64(n),
-		LogRecords:   logRecords,
+		CtrlMessages: res.Ctrl.Sent,
+		OLSRMessages: res.Frames.FramesSent - res.Ctrl.Sent,
+		CtrlPerNode:  float64(res.Ctrl.Sent) / float64(n),
+		LogRecords:   res.LogRecords,
 	}
 }
 
@@ -351,94 +327,17 @@ func RunBaselines(seed int64) *BaselineResult {
 func (r *Runner) Baselines() *BaselineResult { return runBaselines(r.RootSeed) }
 
 func runBaselines(seed int64) *BaselineResult {
-	w := core.NewNetwork(core.Config{
-		Seed:  seed,
-		Radio: radio.Config{Prop: radio.UnitDisk{Range: 120}, PropDelay: time.Millisecond},
-	})
-	// Line: 2 — 1 — 3 — 4; node 1 detects; node 3 black-holes.
-	pos := map[addr.Node]geo.Point{
-		addr.NodeAt(2): geo.Pt(0, 0),
-		addr.NodeAt(1): geo.Pt(100, 0),
-		addr.NodeAt(3): geo.Pt(200, 0),
-		addr.NodeAt(4): geo.Pt(300, 0),
+	spec, ok := scenario.Get("baselines-x5")
+	if !ok {
+		panic("experiment: baselines-x5 preset not registered")
 	}
-	known := addr.NewSet(addr.NodeAt(1), addr.NodeAt(2), addr.NodeAt(3), addr.NodeAt(4))
-	for _, id := range known.Sorted() {
-		spec := core.NodeSpec{ID: id, Pos: mobility.Static{P: pos[id]}}
-		if id == addr.NodeAt(1) {
-			spec.Detector = &detect.Config{KnownNodes: known}
-		}
-		w.AddNode(spec)
+	spec.Seed = seed
+	sres, err := scenario.Run(spec)
+	if err != nil {
+		panic(err)
 	}
-	(&attack.BlackHole{}).Install(w.Node(addr.NodeAt(3)).Router)
-
-	// Storm: forged TCs masquerading as node 4, emitted near node 1 by
-	// node 2's radio (a compromised emitter).
-	storm := &attack.Storm{
-		Spoof:      addr.NodeAt(4),
-		Interval:   400 * time.Millisecond,
-		Advertised: []addr.Node{addr.NodeAt(3)},
-	}
-	w.Sched.After(40*time.Second, func() {
-		t := storm.Start(w.Sched, func(b []byte) {
-			w.Medium.Send(addr.NodeAt(2), addr.Broadcast, append([]byte{1}, b...))
-		})
-		w.Sched.After(30*time.Second, t.Stop)
-	})
-
-	// Replay: a monitor near the victim records several of node 3's
-	// genuine TCs, and the compromised radio re-injects them after the
-	// duplicate hold time has expired — each distinct old message earns
-	// the receiver a stale-sequence drop (identical copies would be mere
-	// duplicates).
-	var captured [][]byte
-	seenSeq := make(map[uint16]bool)
-	w.Medium.Attach(addr.NodeAt(90), func() geo.Point { return geo.Pt(100, 1) }, func(f radio.Frame) {
-		if len(captured) >= 3 || len(f.Payload) < 2 || f.Payload[0] != 1 {
-			return
-		}
-		pkt, err := wire.DecodePacket(f.Payload[1:])
-		if err != nil {
-			return
-		}
-		for _, m := range pkt.Messages {
-			// Forwarded copies repeat the message sequence number; only
-			// distinct originals are worth replaying (identical copies
-			// would be dropped as duplicates, not as stale).
-			if m.Type() == wire.MsgTC && m.Originator == addr.NodeAt(3) && !seenSeq[m.Seq] {
-				seenSeq[m.Seq] = true
-				captured = append(captured, append([]byte{}, f.Payload...))
-				break
-			}
-		}
-	})
-	// Bounce node 4 so node 3's selector set (and hence its ANSN)
-	// advances after the capture: the replayed TC becomes genuinely stale
-	// (RFC 3626 sequence protection — exactly what the replay signature
-	// watches receivers log).
-	w.Sched.After(75*time.Second, func() {
-		w.Node(addr.NodeAt(4)).Router.Stop()
-		w.Medium.SetDown(addr.NodeAt(4), true)
-	})
-	w.Sched.After(85*time.Second, func() {
-		w.Medium.SetDown(addr.NodeAt(4), false)
-		w.Node(addr.NodeAt(4)).Router.Start()
-	})
-	w.Sched.After(100*time.Second, func() {
-		replayer := &attack.Replayer{Delay: time.Second, Copies: 1}
-		for _, raw := range captured {
-			replayer.Capture(w.Sched, func(b []byte) {
-				w.Medium.Send(addr.NodeAt(2), addr.Broadcast, b)
-			}, raw)
-		}
-	})
-
-	w.Start()
-	w.RunFor(2 * time.Minute)
-
-	det := w.Node(addr.NodeAt(1)).Detector
 	res := &BaselineResult{}
-	for _, a := range det.Alerts() {
+	for _, a := range sres.Alerts {
 		switch a.Rule {
 		case "broadcast-storm":
 			res.StormFlagged = true
@@ -446,7 +345,11 @@ func runBaselines(seed int64) *BaselineResult {
 			res.ReplayFlagged = true
 		}
 	}
-	res.DropTrustDamage = trust.DefaultParams().Default - w.Node(addr.NodeAt(1)).Trust.Get(addr.NodeAt(3))
+	for _, s := range sres.Suspects {
+		if s.Kind == "blackhole" {
+			res.DropTrustDamage = trust.DefaultParams().Default - s.FinalTrust
+		}
+	}
 	return res
 }
 

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Scenario execution on the parallel engine. A single scenario is one
+// engine task (the discrete-event kernel inside is single-threaded by
+// design); campaigns — trial fans, preset matrices — parallelize across
+// runs, with every trial's seed derived from the root of the seed tree
+// so results are bit-identical at any worker count.
+
+// scenarioTrialID tags per-trial scenario seeds in the DeriveSeed tree.
+const scenarioTrialID = "scenario-trial"
+
+// Scenario runs one packet-level scenario spec inline.
+func (r *Runner) Scenario(spec scenario.Spec) (*scenario.Result, error) {
+	return scenario.Run(spec)
+}
+
+// ScenarioTrials fans trials independent runs of the spec onto the pool.
+// Trial 0 keeps the spec's own seed verbatim — a 1-trial campaign is
+// reproducible as the first trial of a larger one — and trial i > 0 runs
+// with DeriveSeed(spec.Seed, "scenario-trial", 0, i).
+func (r *Runner) ScenarioTrials(spec scenario.Spec, trials int) ([]*scenario.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = 1
+	}
+	type outcome struct {
+		res *scenario.Result
+		err error
+	}
+	results := mapTasks(r.workerCount(), trials, func(i int) outcome {
+		s := spec
+		if i > 0 {
+			s.Seed = DeriveSeed(spec.Seed, scenarioTrialID, 0, i)
+		}
+		res, err := scenario.Run(s)
+		return outcome{res, err}
+	})
+	out := make([]*scenario.Result, trials)
+	for i, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, o.err)
+		}
+		out[i] = o.res
+	}
+	return out, nil
+}
+
+// ScenarioMatrix runs every spec once on the pool and returns the
+// digests in spec order — the golden-corpus regeneration primitive.
+func (r *Runner) ScenarioMatrix(specs []scenario.Spec) ([]scenario.Digest, error) {
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	type outcome struct {
+		d   scenario.Digest
+		err error
+	}
+	results := mapTasks(r.workerCount(), len(specs), func(i int) outcome {
+		res, err := scenario.Run(specs[i])
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{d: res.Digest()}
+	})
+	out := make([]scenario.Digest, len(specs))
+	for i, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", specs[i].Name, o.err)
+		}
+		out[i] = o.d
+	}
+	return out, nil
+}
+
+// ErrNotRounds rejects a packet spec where a rounds one is needed.
+var ErrNotRounds = errors.New("experiment: spec is not a rounds scenario")
+
+// ConfigFromSpec converts a rounds-kind scenario spec into the §V
+// round-based configuration behind Figures 1-3. Unset (zero) spec
+// fields keep the DefaultConfig values; NonAnswerProb follows the
+// convention documented on RoundsSpec (0 = default, negative =
+// explicitly lossless).
+func ConfigFromSpec(s scenario.Spec) (Config, error) {
+	s = s.WithDefaults()
+	if s.Kind != scenario.KindRounds || s.Rounds == nil {
+		return Config{}, fmt.Errorf("%w: %q has kind %q", ErrNotRounds, s.Name, s.Kind)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Nodes = s.Nodes
+	cfg.Liars = s.Liars
+	if s.Rounds.Rounds > 0 {
+		cfg.Rounds = s.Rounds.Rounds
+	}
+	switch {
+	case s.Rounds.NonAnswerProb > 0:
+		cfg.NonAnswerProb = s.Rounds.NonAnswerProb
+	case s.Rounds.NonAnswerProb < 0:
+		cfg.NonAnswerProb = 0
+	}
+	if s.Rounds.InitialTrustMax > 0 {
+		cfg.InitialTrustMin = s.Rounds.InitialTrustMin
+		cfg.InitialTrustMax = s.Rounds.InitialTrustMax
+	}
+	if s.Trust != nil {
+		cfg.Params = *s.Trust
+	}
+	return cfg, nil
+}

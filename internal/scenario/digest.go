@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Digest is the regression fingerprint of one scenario run: the
+// canonical text records every reduced metric (so golden-file diffs are
+// readable), and Hash is the FNV-64a of that text (so drift is cheap to
+// compare).
+type Digest struct {
+	Name      string
+	Hash      string
+	Canonical string
+}
+
+// sortedAlerts renders an alert histogram in deterministic rule order.
+func sortedAlerts(byRule map[string]int) []AlertCount {
+	rules := make([]string, 0, len(byRule))
+	for r := range byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	out := make([]AlertCount, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, AlertCount{Rule: r, Count: byRule[r]})
+	}
+	return out
+}
+
+// fmtDur renders a duration for the canonical text (-1 stays "-1").
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		return "-1"
+	}
+	return d.String()
+}
+
+// Canonical renders the result as stable line-oriented text. Every field
+// of the Result appears; floats are rounded to 1e-6 so the digest does
+// not hinge on the last bits of IEEE arithmetic.
+func (r *Result) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\n", r.Name)
+	fmt.Fprintf(&b, "seed: %d\n", r.Seed)
+	fmt.Fprintf(&b, "nodes: %d\n", r.Nodes)
+	fmt.Fprintf(&b, "simTime: %s\n", r.SimTime)
+	fmt.Fprintf(&b, "events: %d\n", r.Events)
+	fmt.Fprintf(&b, "frames.sent: %d\n", r.Frames.FramesSent)
+	fmt.Fprintf(&b, "frames.delivered: %d\n", r.Frames.FramesDelivered)
+	fmt.Fprintf(&b, "frames.lost: %d\n", r.Frames.FramesLost)
+	fmt.Fprintf(&b, "bytes.sent: %d\n", r.Frames.BytesSent)
+	fmt.Fprintf(&b, "bytes.delivered: %d\n", r.Frames.BytesDelivered)
+	fmt.Fprintf(&b, "ctrl.sent: %d\n", r.Ctrl.Sent)
+	fmt.Fprintf(&b, "ctrl.delivered: %d\n", r.Ctrl.Delivered)
+	fmt.Fprintf(&b, "ctrl.dropped: %d\n", r.Ctrl.Dropped)
+	fmt.Fprintf(&b, "logRecords: %d\n", r.LogRecords)
+	fmt.Fprintf(&b, "investigations: %d\n", r.Investigations)
+	for _, a := range r.Alerts {
+		fmt.Fprintf(&b, "alert %s: %d\n", a.Rule, a.Count)
+	}
+	for _, s := range r.Suspects {
+		fmt.Fprintf(&b, "suspect node=%d kind=%s at=%s convictedAt=%s falsePositive=%v trust=%.6f\n",
+			s.Node, s.Kind, fmtDur(s.AttackAt), fmtDur(s.ConvictedAt), s.FalsePositive, s.FinalTrust)
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  counter %s: %d\n", c.Name, c.Value)
+		}
+	}
+	return b.String()
+}
+
+// Digest fingerprints the result.
+func (r *Result) Digest() Digest {
+	text := r.Canonical()
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return Digest{
+		Name:      r.Name,
+		Hash:      fmt.Sprintf("%016x", h.Sum64()),
+		Canonical: text,
+	}
+}
+
+// GoldenFile renders the digest in the checked-in golden format: the
+// hash first (cheap drift check, and it survives a skimmed diff), then
+// the canonical text it covers.
+func (d Digest) GoldenFile() string {
+	return "hash: " + d.Hash + "\n" + d.Canonical
+}

@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// The preset registry: named, ready-to-run scenarios. Every packet-kind
+// preset is also a golden regression case — testdata/golden/<name>.golden
+// pins its digest, and CI regenerates the whole matrix on each PR.
+
+var registry = map[string]Spec{}
+
+// Register adds a preset. It panics on duplicates or invalid specs —
+// presets are package data, so both are programming errors.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("scenario: preset without a name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate preset " + s.Name)
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named preset.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the registered presets in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Presets returns every registered spec, sorted by name.
+func Presets() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// PacketPresets returns the packet-kind presets, sorted by name — the
+// golden regression corpus.
+func PacketPresets() []Spec {
+	var out []Spec
+	for _, s := range Presets() {
+		if s.WithDefaults().Kind == KindPacket {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Resolve returns the named preset, or loads a spec file when name names
+// no preset but an existing file.
+func Resolve(name string) (Spec, error) {
+	if s, ok := Get(name); ok {
+		return s, nil
+	}
+	s, err := Load(name)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %q is neither a preset (%v) nor a loadable file: %w",
+			name, Names(), err)
+	}
+	return s, nil
+}
+
+// x5Line is the 4-node chain 2—1—3—4 of the X5 baseline experiment: the
+// victim (node 1) sits mid-chain so the black-holing node 3 is both its
+// symmetric neighbor and its MPR toward node 4.
+func x5Line() []Position {
+	return []Position{{X: 100}, {X: 0}, {X: 200}, {X: 300}}
+}
+
+func init() {
+	Register(Spec{
+		Name:        "baseline",
+		Description: "honest 16-node grid, no adversary — the false-positive floor",
+		Seed:        1,
+		Nodes:       16,
+		Duration:    Dur(2 * time.Minute),
+	})
+	Register(Spec{
+		Name:        "linkspoof",
+		Description: "phantom-neighbor link spoofing (paper §III-A Expr. 1), attacker adjacent to the victim",
+		Seed:        1,
+		Nodes:       16,
+		Duration:    Dur(3 * time.Minute),
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 16, Mode: "phantom", At: Dur(45 * time.Second), Pin: true, DropCtrl: true},
+		},
+	})
+	Register(Spec{
+		Name:        "linkspoof-mobile",
+		Description: "phantom spoofing under 2 m/s random-waypoint mobility (X1 regime)",
+		Seed:        1,
+		Nodes:       16,
+		Duration:    Dur(4 * time.Minute),
+		Mobility:    MobilitySpec{Model: "waypoint", MaxSpeed: 2},
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 16, Mode: "phantom", At: Dur(45 * time.Second), Pin: true, DropCtrl: true},
+		},
+	})
+	Register(Spec{
+		Name:        "blackhole",
+		Description: "total drop attack by the victim's MPR on the X5 chain 2—1—3—4",
+		Seed:        1,
+		Nodes:       4,
+		Positions:   x5Line(),
+		Radio:       RadioSpec{Range: 120},
+		Duration:    Dur(2 * time.Minute),
+		Attacks: []AttackSpec{
+			{Kind: "blackhole", Node: 3, At: Dur(20 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name:        "grayhole",
+		Description: "selective 50% drop attack by the victim's MPR on the X5 chain",
+		Seed:        1,
+		Nodes:       4,
+		Positions:   x5Line(),
+		Radio:       RadioSpec{Range: 120},
+		Duration:    Dur(2 * time.Minute),
+		Attacks: []AttackSpec{
+			{Kind: "grayhole", Node: 3, Ratio: 0.5, At: Dur(20 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name: "wormhole",
+		Description: "out-of-band tunnel between the neighborhoods of nodes 2 and 7 " +
+			"of an 8-node chain — distant nodes appear adjacent",
+		Seed:      1,
+		Nodes:     8,
+		ArenaSide: 1200,
+		Placement: "line",
+		Spacing:   150,
+		Duration:  Dur(150 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "wormhole", Node: 2, Peer: 7, At: Dur(30 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name: "colluding",
+		Description: "two colluding spoofers claim-advertise each other, poisoning the " +
+			"victim's route to the verification endpoint (§III-A Expr. 2 + §V colluders; " +
+			"the E3 not-verified outcome defeats conviction)",
+		Seed:     1,
+		Nodes:    16,
+		Duration: Dur(210 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "colluding", Node: 16, Peer: 15, Mode: "claim", At: Dur(45 * time.Second), Pin: true},
+		},
+	})
+	Register(Spec{
+		Name:        "storm",
+		Description: "broadcast storm of forged TCs masquerading as node 4 (§II-B), emitted beside the victim",
+		Seed:        1,
+		Nodes:       4,
+		Positions:   x5Line(),
+		Radio:       RadioSpec{Range: 120},
+		Duration:    Dur(2 * time.Minute),
+		Attacks: []AttackSpec{
+			{Kind: "storm", Node: 2, Peer: 4, Target: 3, At: Dur(40 * time.Second), For: Dur(30 * time.Second)},
+		},
+	})
+	Register(x5Baselines())
+	Register(Spec{
+		Name:        "paper-figures",
+		Description: "the §V round-based population behind Figures 1-3 (run with trustlab)",
+		Kind:        KindRounds,
+		Seed:        1,
+		Nodes:       16,
+		Liars:       4,
+		Rounds: &RoundsSpec{
+			Rounds:          25,
+			NonAnswerProb:   0.1,
+			InitialTrustMin: 0.05,
+			InitialTrustMax: 0.95,
+			LiarCounts:      []int{0, 2, 4, 6},
+		},
+	})
+}
+
+// x5Baselines is the full X5 baseline-attack scenario: black hole, forged
+// broadcast storm and replay on the 4-node chain. The storm and black
+// hole are declarative; the replay choreography — a sniffer capturing
+// node 3's genuine TCs, a node bounce to advance its ANSN, and the
+// delayed re-injection — needs the Custom hook.
+func x5Baselines() Spec {
+	replayer := func(w *core.Network) {
+		// Replay: a monitor near the victim records several of node 3's
+		// genuine TCs, and the compromised radio re-injects them after the
+		// duplicate hold time has expired — each distinct old message earns
+		// the receiver a stale-sequence drop (identical copies would be mere
+		// duplicates).
+		var captured [][]byte
+		seenSeq := make(map[uint16]bool)
+		w.Medium.Attach(addr.NodeAt(90), func() geo.Point { return geo.Pt(100, 1) }, func(f radio.Frame) {
+			if len(captured) >= 3 || len(f.Payload) < 2 || f.Payload[0] != core.PayloadOLSR {
+				return
+			}
+			pkt, err := wire.DecodePacket(f.Payload[1:])
+			if err != nil {
+				return
+			}
+			for _, m := range pkt.Messages {
+				// Forwarded copies repeat the message sequence number; only
+				// distinct originals are worth replaying (identical copies
+				// would be dropped as duplicates, not as stale).
+				if m.Type() == wire.MsgTC && m.Originator == addr.NodeAt(3) && !seenSeq[m.Seq] {
+					seenSeq[m.Seq] = true
+					captured = append(captured, append([]byte{}, f.Payload...))
+					break
+				}
+			}
+		})
+		// Bounce node 4 so node 3's selector set (and hence its ANSN)
+		// advances after the capture: the replayed TC becomes genuinely stale
+		// (RFC 3626 sequence protection — exactly what the replay signature
+		// watches receivers log).
+		w.Sched.After(75*time.Second, func() {
+			w.Node(addr.NodeAt(4)).Router.Stop()
+			w.Medium.SetDown(addr.NodeAt(4), true)
+		})
+		w.Sched.After(85*time.Second, func() {
+			w.Medium.SetDown(addr.NodeAt(4), false)
+			w.Node(addr.NodeAt(4)).Router.Start()
+		})
+		w.Sched.After(100*time.Second, func() {
+			rp := &attack.Replayer{Delay: time.Second, Copies: 1}
+			for _, raw := range captured {
+				rp.Capture(w.Sched, func(b []byte) {
+					w.Medium.Send(addr.NodeAt(2), addr.Broadcast, b)
+				}, raw)
+			}
+		})
+	}
+	return Spec{
+		Name: "baselines-x5",
+		Description: "the X5 combo: black hole + masqueraded TC storm + replay of stale " +
+			"TCs on the 4-node chain (DESIGN.md §4)",
+		Seed:      1,
+		Nodes:     4,
+		Positions: x5Line(),
+		Radio:     RadioSpec{Range: 120},
+		Duration:  Dur(2 * time.Minute),
+		Attacks: []AttackSpec{
+			{Kind: "blackhole", Node: 3},
+			{Kind: "storm", Node: 2, Peer: 4, Target: 3, At: Dur(40 * time.Second), For: Dur(30 * time.Second)},
+		},
+		Custom: replayer,
+	}
+}

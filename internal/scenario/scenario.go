@@ -1,0 +1,401 @@
+// Package scenario is the declarative scenario subsystem: a Spec is a
+// plain data structure — loadable from a JSON file or constructed in
+// code — that names everything a simulated campaign needs: topology size
+// and placement, mobility model, radio parameters, the attack mix, trust
+// and detector configuration, duration, and seeds.
+//
+// Build instantiates a Spec into a core.Network; Run executes it and
+// reduces the run to a Result whose canonical rendering (digest.go) is
+// seeded and deterministic — the same Spec produces a byte-identical
+// digest at any worker count, which is what lets the preset registry
+// (presets.go) double as a golden regression corpus under
+// testdata/golden/.
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trust"
+)
+
+// Scenario kinds: packet-level simulations run on core.Network; rounds
+// scenarios parameterize the round-based §V abstraction behind the
+// paper's figures (executed by internal/experiment, which owns that
+// code).
+const (
+	KindPacket = "packet"
+	KindRounds = "rounds"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("90s", "4m") and unmarshals from either that form or a float number
+// of seconds.
+type Duration time.Duration
+
+// D converts to time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// Dur converts from time.Duration.
+func Dur(d time.Duration) Duration { return Duration(d) }
+
+// String renders like time.Duration.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or seconds: %s", b)
+	}
+	*d = Duration(float64(time.Second) * secs)
+	return nil
+}
+
+// Position is an explicit node coordinate in meters.
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// RadioSpec selects and parameterizes the propagation model.
+type RadioSpec struct {
+	// Model is "unitdisk" (default) or "lossy".
+	Model string `json:"model,omitempty"`
+	// Range is the (reliable) radio range in meters (default 200).
+	Range float64 `json:"range,omitempty"`
+	// FadeRange and Loss parameterize the lossy model (see radio.LossyDisk).
+	FadeRange float64 `json:"fadeRange,omitempty"`
+	Loss      float64 `json:"loss,omitempty"`
+	// PropDelay is the per-hop propagation delay (default 1ms).
+	PropDelay Duration `json:"propDelay,omitempty"`
+	// BitRate, if > 0, adds size-proportional transmission delay.
+	BitRate float64 `json:"bitRate,omitempty"`
+}
+
+// MobilitySpec selects and parameterizes the movement model applied to
+// every (honest, unpinned) node.
+type MobilitySpec struct {
+	// Model is "static" (default), "waypoint" or "walk".
+	Model string `json:"model,omitempty"`
+	// MinSpeed and MaxSpeed bound waypoint speeds; MaxSpeed alone drives
+	// the walk model. Both in m/s.
+	MinSpeed float64 `json:"minSpeed,omitempty"`
+	MaxSpeed float64 `json:"maxSpeed,omitempty"`
+	// Pause is the waypoint dwell time (default 5s).
+	Pause Duration `json:"pause,omitempty"`
+	// Epoch is the walk segment duration (default 10s).
+	Epoch Duration `json:"epoch,omitempty"`
+}
+
+// AttackSpec is one adversarial behavior of the mix. Node (and for some
+// kinds Peer) are 1-based node indices.
+type AttackSpec struct {
+	// Kind is one of "linkspoof", "blackhole", "grayhole", "wormhole",
+	// "colluding" or "storm".
+	Kind string `json:"kind"`
+	// Node is the attacking node (the first mouth/member for wormhole
+	// and colluding).
+	Node int `json:"node"`
+	// Peer is the second wormhole mouth, the second colluding member, or
+	// the originator a storm masquerades as.
+	Peer int `json:"peer,omitempty"`
+	// Mode selects the link-spoofing variant: "phantom" (default),
+	// "claim" or "omit". Colluding groups default to "claim".
+	Mode string `json:"mode,omitempty"`
+	// Target is the node the spoof is about (0 = the conventional
+	// phantom address, node index Nodes+83) or the neighbor a storm's
+	// forged TCs advertise (0 = the victim).
+	Target int `json:"target,omitempty"`
+	// At is when the attack activates (0 = from the start).
+	At Duration `json:"at,omitempty"`
+	// For bounds the attack duration (0 = until the end of the run).
+	// Only storms honor it today.
+	For Duration `json:"for,omitempty"`
+	// Ratio is the grayhole drop fraction in [0,1].
+	Ratio float64 `json:"ratio,omitempty"`
+	// Interval is the storm emission period (default 400ms).
+	Interval Duration `json:"interval,omitempty"`
+	// Delay is the wormhole tunnel latency (default 0).
+	Delay Duration `json:"delay,omitempty"`
+	// Pin places the attacker statically half a radio range from the
+	// victim, guaranteeing adjacency regardless of placement.
+	Pin bool `json:"pin,omitempty"`
+	// DropCtrl makes the attacker silently discard control-plane
+	// messages it should relay (investigation traffic).
+	DropCtrl bool `json:"dropCtrl,omitempty"`
+}
+
+// RoundsSpec parameterizes a rounds-kind scenario (the §V round-based
+// abstraction behind Figures 1-3; see experiment.Config).
+type RoundsSpec struct {
+	Rounds int `json:"rounds"`
+	// NonAnswerProb is the chance an answer is lost to the medium.
+	// 0 (unset) keeps the experiment default of 10%; use a negative
+	// value for an explicitly lossless medium.
+	NonAnswerProb   float64 `json:"nonAnswerProb,omitempty"`
+	InitialTrustMin float64 `json:"initialTrustMin,omitempty"`
+	InitialTrustMax float64 `json:"initialTrustMax,omitempty"`
+	// LiarCounts is the Figure-3 sweep axis (counts of colluding liars).
+	LiarCounts []int `json:"liarCounts,omitempty"`
+}
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Kind is KindPacket (default) or KindRounds.
+	Kind string `json:"kind,omitempty"`
+	Seed int64  `json:"seed"`
+	// Nodes is the population size (default 16).
+	Nodes int `json:"nodes"`
+	// ArenaSide is the square arena side in meters (default 500).
+	ArenaSide float64 `json:"arenaSide,omitempty"`
+	// Placement is "grid" (default), "line", "ring" or "uniform";
+	// Positions overrides it with explicit per-node coordinates.
+	Placement string     `json:"placement,omitempty"`
+	Spacing   float64    `json:"spacing,omitempty"` // line spacing / ring radius
+	Positions []Position `json:"positions,omitempty"`
+	// Duration is the simulated time (default 3m).
+	Duration Duration     `json:"duration"`
+	Radio    RadioSpec    `json:"radio"`
+	Mobility MobilitySpec `json:"mobility"`
+	// Victim is the observing/detecting node (default 1).
+	Victim int `json:"victim,omitempty"`
+	// DetectAll runs a detector on every node instead of the victim only.
+	DetectAll bool `json:"detectAll,omitempty"`
+	// Liars is the number of colluding responders (nodes 2..1+Liars)
+	// that answer investigations about any attacker falsely.
+	Liars int `json:"liars,omitempty"`
+	// Trust overrides the trust constants of every detector.
+	Trust *trust.Params `json:"trust,omitempty"`
+	// Attacks is the adversary mix.
+	Attacks []AttackSpec `json:"attacks,omitempty"`
+	// Rounds parameterizes rounds-kind scenarios.
+	Rounds *RoundsSpec `json:"rounds,omitempty"`
+	// Custom, settable only in code, runs after every node is added and
+	// before routers start — the escape hatch for choreography the
+	// declarative surface cannot express (monitors, failure injection,
+	// replay captures). Scenarios using it are still deterministic as
+	// long as the hook only touches the network's own scheduler and RNG.
+	Custom func(*core.Network) `json:"-"`
+}
+
+// WithDefaults returns the spec with unset fields resolved.
+func (s Spec) WithDefaults() Spec {
+	if s.Kind == "" {
+		s.Kind = KindPacket
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 16
+	}
+	if s.ArenaSide <= 0 {
+		s.ArenaSide = 500
+	}
+	if s.Placement == "" {
+		s.Placement = "grid"
+	}
+	if s.Duration <= 0 {
+		s.Duration = Dur(3 * time.Minute)
+	}
+	if s.Victim <= 0 {
+		s.Victim = 1
+	}
+	if s.Radio.Model == "" {
+		s.Radio.Model = "unitdisk"
+	}
+	if s.Radio.Range <= 0 {
+		s.Radio.Range = 200
+	}
+	if s.Radio.PropDelay <= 0 {
+		s.Radio.PropDelay = Dur(time.Millisecond)
+	}
+	if s.Mobility.Model == "" {
+		s.Mobility.Model = "static"
+	}
+	if s.Mobility.Pause <= 0 {
+		s.Mobility.Pause = Dur(5 * time.Second)
+	}
+	if s.Mobility.Epoch <= 0 {
+		s.Mobility.Epoch = Dur(10 * time.Second)
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec, after defaulting.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	switch s.Kind {
+	case KindPacket, KindRounds:
+	default:
+		return fmt.Errorf("scenario %q: unknown kind %q", s.Name, s.Kind)
+	}
+	if s.Kind == KindRounds {
+		if len(s.Attacks) > 0 {
+			return fmt.Errorf("scenario %q: rounds scenarios take no attack mix", s.Name)
+		}
+		return nil
+	}
+	switch s.Placement {
+	case "grid", "line", "ring", "uniform":
+	default:
+		return fmt.Errorf("scenario %q: unknown placement %q", s.Name, s.Placement)
+	}
+	if len(s.Positions) > 0 && len(s.Positions) != s.Nodes {
+		return fmt.Errorf("scenario %q: %d positions for %d nodes", s.Name, len(s.Positions), s.Nodes)
+	}
+	switch s.Radio.Model {
+	case "unitdisk", "lossy":
+	default:
+		return fmt.Errorf("scenario %q: unknown radio model %q", s.Name, s.Radio.Model)
+	}
+	switch s.Mobility.Model {
+	case "static", "waypoint", "walk":
+	default:
+		return fmt.Errorf("scenario %q: unknown mobility model %q", s.Name, s.Mobility.Model)
+	}
+	if s.Victim > s.Nodes {
+		return fmt.Errorf("scenario %q: victim %d outside population %d", s.Name, s.Victim, s.Nodes)
+	}
+	if s.Liars < 0 || s.Liars > s.Nodes-1 {
+		return fmt.Errorf("scenario %q: %d liars in a population of %d", s.Name, s.Liars, s.Nodes)
+	}
+	claimed := map[int]string{}
+	for i, a := range s.Attacks {
+		if err := s.validateAttack(a); err != nil {
+			return fmt.Errorf("scenario %q: attack %d: %w", s.Name, i, err)
+		}
+		// A node carries at most one role-bearing attack: the spoofer and
+		// drop hooks occupy the same router slots (core.NodeSpec installs
+		// Hooks only when no Spoofer is set), so a second role would be
+		// silently ignored rather than combined.
+		var roleNodes []int
+		switch a.Kind {
+		case "linkspoof", "blackhole", "grayhole":
+			roleNodes = []int{a.Node}
+		case "colluding":
+			roleNodes = []int{a.Node, a.Peer}
+		}
+		for _, n := range roleNodes {
+			if prev, dup := claimed[n]; dup {
+				return fmt.Errorf("scenario %q: attack %d: node %d already carries a %s attack; one role-bearing attack per node",
+					s.Name, i, n, prev)
+			}
+			claimed[n] = a.Kind
+		}
+	}
+	return nil
+}
+
+// validateAttack checks one attack entry against the defaulted spec.
+func (s Spec) validateAttack(a AttackSpec) error {
+	inPop := func(n int) bool { return n >= 1 && n <= s.Nodes }
+	if !inPop(a.Node) {
+		return fmt.Errorf("%s: node %d outside population %d", a.Kind, a.Node, s.Nodes)
+	}
+	switch a.Kind {
+	case "linkspoof":
+		switch a.Mode {
+		case "", "phantom", "claim", "omit":
+		default:
+			return fmt.Errorf("linkspoof: unknown mode %q", a.Mode)
+		}
+	case "blackhole":
+	case "grayhole":
+		if a.Ratio < 0 || a.Ratio > 1 {
+			return fmt.Errorf("grayhole: ratio %v outside [0,1]", a.Ratio)
+		}
+	case "wormhole", "colluding":
+		if !inPop(a.Peer) {
+			return fmt.Errorf("%s: peer %d outside population %d", a.Kind, a.Peer, s.Nodes)
+		}
+		if a.Peer == a.Node {
+			return fmt.Errorf("%s: node and peer are both %d", a.Kind, a.Node)
+		}
+	case "storm":
+		if !inPop(a.Peer) {
+			return fmt.Errorf("storm: masqueraded peer %d outside population %d", a.Peer, s.Nodes)
+		}
+	default:
+		return fmt.Errorf("unknown attack kind %q", a.Kind)
+	}
+	return nil
+}
+
+// Parse decodes a JSON spec, rejecting unknown fields, and validates it.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path) //nolint:gosec // operator-supplied path
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON renders the spec as indented JSON.
+func (s Spec) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DeriveSeed maps a task's coordinates to an independent RNG seed:
+// FNV-1a over (root, label, point, trial) followed by a SplitMix64
+// finalizer for avalanche, so adjacent coordinates yield uncorrelated
+// streams. The function is pure and stable: the same inputs produce the
+// same seed on every platform and in every process, which is what makes
+// parallel runs bit-identical to serial ones. It lives here so both the
+// scenario builder (per-node mobility seeds, attack RNGs) and the
+// experiment engine derive from the same tree; experiment.DeriveSeed is
+// an alias.
+func DeriveSeed(root int64, label string, point, trial int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(root))
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(point)))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(trial)))
+	h.Write(buf[:])
+	s := h.Sum64()
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	s *= 0x94d049bb133111eb
+	s ^= s >> 31
+	return int64(s)
+}

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDurationJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"90s"`, 90 * time.Second},
+		{`"4m"`, 4 * time.Minute},
+		{`30`, 30 * time.Second},
+		{`1.5`, 1500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		var d Duration
+		if err := d.UnmarshalJSON([]byte(c.in)); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if d.D() != c.want {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, d.D(), c.want)
+		}
+	}
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	b, err := Dur(90 * time.Second).MarshalJSON()
+	if err != nil || string(b) != `"1m30s"` {
+		t.Errorf("marshal = %s, %v", b, err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec, ok := Get("linkspoof")
+	if !ok {
+		t.Fatal("linkspoof preset missing")
+	}
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	r1, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest() != r2.Digest() {
+		t.Errorf("digest changed across JSON round trip:\n%s\nvs\n%s", r1.Canonical(), r2.Canonical())
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	spec, _ := Get("grayhole")
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grayhole.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "grayhole" || len(loaded.Attacks) != 1 || loaded.Attacks[0].Ratio != 0.5 {
+		t.Errorf("loaded spec mangled: %+v", loaded)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"x","nodez":4}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "k", Kind: "quantum"},
+		{Name: "p", Placement: "spiral"},
+		{Name: "r", Radio: RadioSpec{Model: "maxwell"}},
+		{Name: "m", Mobility: MobilitySpec{Model: "teleport"}},
+		{Name: "v", Nodes: 4, Victim: 9},
+		{Name: "l", Nodes: 4, Liars: 4},
+		{Name: "pos", Nodes: 4, Positions: []Position{{}, {}}},
+		{Name: "a-kind", Attacks: []AttackSpec{{Kind: "ddos", Node: 1}}},
+		{Name: "a-node", Attacks: []AttackSpec{{Kind: "blackhole", Node: 99}}},
+		{Name: "a-mode", Attacks: []AttackSpec{{Kind: "linkspoof", Node: 1, Mode: "subtle"}}},
+		{Name: "a-ratio", Attacks: []AttackSpec{{Kind: "grayhole", Node: 1, Ratio: 1.5}}},
+		{Name: "a-peer", Attacks: []AttackSpec{{Kind: "wormhole", Node: 1, Peer: 99}}},
+		{Name: "a-self", Attacks: []AttackSpec{{Kind: "colluding", Node: 2, Peer: 2}}},
+		{Name: "a-storm", Attacks: []AttackSpec{{Kind: "storm", Node: 1}}},
+		{Name: "rounds-att", Kind: KindRounds, Attacks: []AttackSpec{{Kind: "blackhole", Node: 1}}},
+		// One role-bearing attack per node: a spoofer and a drop hook on
+		// the same router cannot coexist (NodeSpec installs one of them).
+		{Name: "dup-role", Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 3},
+			{Kind: "grayhole", Node: 3, Ratio: 0.5},
+		}},
+		{Name: "dup-colluder", Attacks: []AttackSpec{
+			{Kind: "colluding", Node: 2, Peer: 3},
+			{Kind: "blackhole", Node: 3},
+		}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q validated despite being invalid", s.Name)
+		}
+	}
+	if err := (Spec{Name: "ok"}).Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+func TestPresetsAllValidAndNamed(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d presets registered: %v", len(names), names)
+	}
+	for _, required := range []string{"baseline", "linkspoof", "blackhole", "grayhole", "wormhole", "colluding"} {
+		if _, ok := Get(required); !ok {
+			t.Errorf("required preset %q missing", required)
+		}
+	}
+	if len(PacketPresets()) < 6 {
+		t.Errorf("fewer than 6 packet presets: %d", len(PacketPresets()))
+	}
+	if _, err := Resolve("linkspoof"); err != nil {
+		t.Errorf("Resolve(linkspoof): %v", err)
+	}
+	if _, err := Resolve("no-such-preset-or-file"); err == nil {
+		t.Error("Resolve accepted garbage")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec, _ := Get("grayhole")
+	r1, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest() != r2.Digest() {
+		t.Errorf("same spec, different digests:\n%s\nvs\n%s", r1.Canonical(), r2.Canonical())
+	}
+	other := spec
+	other.Seed = 2
+	r3, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Digest().Hash == r1.Digest().Hash {
+		t.Error("different seeds produced identical digests")
+	}
+}
+
+func TestDigestGoldenFileFormat(t *testing.T) {
+	r := &Result{Name: "x", Seed: 7, Nodes: 2, SimTime: time.Minute}
+	d := r.Digest()
+	if d.Name != "x" || len(d.Hash) != 16 {
+		t.Errorf("digest = %+v", d)
+	}
+	g := d.GoldenFile()
+	if g[:6] != "hash: " {
+		t.Errorf("golden file does not lead with the hash:\n%s", g)
+	}
+}
+
+func TestBuildRejectsRounds(t *testing.T) {
+	spec, _ := Get("paper-figures")
+	if _, err := Build(spec); err == nil {
+		t.Error("Build accepted a rounds spec")
+	}
+	if _, err := Run(spec); err == nil {
+		t.Error("Run accepted a rounds spec")
+	}
+}

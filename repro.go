@@ -16,7 +16,10 @@
 //   - the attacks of §II-B/§III-A (link spoofing ×3, black/gray hole,
 //     storm, replay, liars) — internal/attack;
 //   - the evaluation harness reproducing Figures 1–3 and the extension
-//     experiments of DESIGN.md — internal/experiment.
+//     experiments of DESIGN.md — internal/experiment;
+//   - the declarative scenario subsystem (DESIGN.md §7): named presets,
+//     JSON scenario files, and the golden regression corpus under
+//     testdata/golden/ — internal/scenario.
 //
 // This root package is a thin facade: it re-exports the experiment entry
 // points that the benchmarks, examples and command-line tools share. The
@@ -25,6 +28,7 @@ package repro
 
 import (
 	"repro/internal/experiment"
+	"repro/internal/scenario"
 	"repro/internal/trust"
 )
 
@@ -75,3 +79,23 @@ type Engine = experiment.Runner
 func NewEngine(rootSeed int64, workers int) *Engine {
 	return experiment.NewRunner(rootSeed, workers)
 }
+
+// Scenario is a declarative scenario specification (DESIGN.md §7): one
+// data structure naming topology, mobility, radio, attack mix, trust
+// configuration, duration and seed — loadable from JSON or constructed
+// in code.
+type Scenario = scenario.Spec
+
+// ScenarioResult is the deterministic reduction of one scenario run; its
+// Digest is the regression fingerprint pinned under testdata/golden/.
+type ScenarioResult = scenario.Result
+
+// ScenarioPresets returns the named, ready-to-run scenarios (baseline,
+// linkspoof, blackhole, grayhole, wormhole, colluding, ...).
+func ScenarioPresets() []Scenario { return scenario.Presets() }
+
+// ResolveScenario returns the named preset, or loads a JSON spec file.
+func ResolveScenario(name string) (Scenario, error) { return scenario.Resolve(name) }
+
+// RunScenario executes one packet-level scenario.
+func RunScenario(spec Scenario) (*ScenarioResult, error) { return scenario.Run(spec) }
