@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update fuzz clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update fuzz clean
 
 check: fmt vet build test
 
@@ -38,6 +38,16 @@ golden:
 
 golden-update:
 	$(GO) test -run TestGoldenCorpus -update-golden -count=1 .
+
+# Large-N golden matrix: the scale presets (200/500 nodes) under both
+# medium implementations at workers 1 and 8 (see golden_scale_test.go).
+# Minutes of simulation — CI runs it in the separate `scale` job, never
+# in the main test job.
+scale:
+	REPRO_SCALE=1 $(GO) test -run TestGoldenScale -count=1 -timeout 40m .
+
+scale-update:
+	REPRO_SCALE=1 $(GO) test -run TestGoldenScale -update-golden -count=1 -timeout 40m .
 
 # Short local fuzz pass over the wire codec (CI runs the same budget).
 fuzz:

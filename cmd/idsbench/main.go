@@ -6,6 +6,7 @@
 //	idsbench -sweep ablation    # X4: Eq. 8 with vs without trust weights
 //	idsbench -sweep baselines   # X5: storm/replay/drop signature coverage
 //	idsbench -sweep scenarios   # X6: the scenario preset matrix + digests
+//	idsbench -sweep scale       # X7: large-N presets, grid vs scan medium
 //
 // Sweeps run on the parallel experiment engine (DESIGN.md §6): -workers
 // sets the pool size (default GOMAXPROCS) and -seed the root seed every
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/scenario"
@@ -31,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines or scenarios")
+		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios or scale")
 		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
 		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -102,6 +104,46 @@ func run() error {
 		fmt.Printf("%-18s %-16s\n", "scenario", "digest")
 		for i, d := range digests {
 			fmt.Printf("%-18s %-16s\n", specs[i].Name, d.Hash)
+		}
+
+	case "scale":
+		// X7: the large-N matrix. Every scale preset runs once per medium
+		// implementation; identical digests are the equivalence proof at
+		// population scale, and the wall-clock ratio is the speedup the
+		// spatial grid buys end to end (medium + protocol + detection).
+		specs := scenario.ScalePresets()
+		if flagPassed("seed") {
+			for i := range specs {
+				specs[i].Seed = *seed
+			}
+		}
+		fmt.Println("X7: large-N scaling (grid vs scan medium, end-to-end wall clock)")
+		fmt.Printf("%-22s %6s %8s %-16s %10s %10s %8s\n",
+			"scenario", "nodes", "simTime", "digest", "grid", "scan", "speedup")
+		for _, s := range specs {
+			grid, scan := s, s
+			grid.Radio.Medium = "grid"
+			scan.Radio.Medium = "scan"
+			gridStart := time.Now()
+			gd, err := eng.ScenarioMatrix([]scenario.Spec{grid})
+			if err != nil {
+				return err
+			}
+			gridWall := time.Since(gridStart)
+			scanStart := time.Now()
+			sd, err := eng.ScenarioMatrix([]scenario.Spec{scan})
+			if err != nil {
+				return err
+			}
+			scanWall := time.Since(scanStart)
+			if gd[0] != sd[0] {
+				return fmt.Errorf("scale %s: medium digests diverge: grid %s, scan %s",
+					s.Name, gd[0].Hash, sd[0].Hash)
+			}
+			fmt.Printf("%-22s %6d %8s %-16s %10s %10s %7.1fx\n",
+				s.Name, s.Nodes, s.WithDefaults().Duration, gd[0].Hash,
+				gridWall.Round(10*time.Millisecond), scanWall.Round(10*time.Millisecond),
+				float64(scanWall)/float64(gridWall))
 		}
 
 	default:

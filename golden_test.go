@@ -27,20 +27,51 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden fr
 
 const goldenDir = "testdata/golden"
 
-func TestGoldenCorpus(t *testing.T) {
-	specs := scenario.PacketPresets()
-	if len(specs) < 6 {
-		t.Fatalf("only %d packet presets — the corpus shrank", len(specs))
+// mediumMatrix runs the specs under both medium implementations (the
+// reference scan and the spatial grid) at the given worker count and
+// fails on any digest divergence — the grid is contractually a pure
+// performance substitution (DESIGN.md §2.4). It returns the digests.
+func mediumMatrix(t *testing.T, specs []scenario.Spec, workers int) []scenario.Digest {
+	t.Helper()
+	scan := make([]scenario.Spec, len(specs))
+	grid := make([]scenario.Spec, len(specs))
+	for i, s := range specs {
+		scan[i], grid[i] = s, s
+		scan[i].Radio.Medium = "scan"
+		grid[i].Radio.Medium = "grid"
 	}
+	scanD, err := experiment.NewRunner(0, workers).ScenarioMatrix(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridD, err := experiment.NewRunner(0, workers).ScenarioMatrix(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if scanD[i] != gridD[i] {
+			t.Errorf("%s: digest differs between mediums at %d workers:\n--- scan\n%s\n--- grid\n%s",
+				specs[i].Name, workers, scanD[i].Canonical, gridD[i].Canonical)
+		}
+	}
+	return scanD
+}
 
-	parallel, err := experiment.NewRunner(0, 8).ScenarioMatrix(specs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	serial, err := experiment.NewRunner(0, 1).ScenarioMatrix(specs)
-	if err != nil {
-		t.Fatal(err)
-	}
+// verifyGoldenMatrix runs specs under both mediums at workers 8 and 1
+// (via mediumMatrix), then compares — or with -update-golden, records —
+// each digest against its testdata/golden file. updateCmd names the make
+// target to suggest in failure messages. Both golden corpus tests share
+// this loop so the workflow cannot drift between them.
+//
+// The grid pass at workers=1 is transitively implied by the other three
+// (scan@8 == grid@8, scan@8 == scan@1) but runs anyway: each cell of
+// the medium × worker matrix gets direct evidence, so a failure report
+// names the exact combination that drifted instead of leaving it to be
+// inferred.
+func verifyGoldenMatrix(t *testing.T, specs []scenario.Spec, updateCmd string) {
+	t.Helper()
+	parallel := mediumMatrix(t, specs, 8)
+	serial := mediumMatrix(t, specs, 1)
 
 	for i, spec := range specs {
 		i, spec := i, spec
@@ -62,14 +93,22 @@ func TestGoldenCorpus(t *testing.T) {
 			}
 			want, err := os.ReadFile(path)
 			if err != nil {
-				t.Fatalf("no golden file for preset %q (run `make golden-update`): %v", spec.Name, err)
+				t.Fatalf("no golden file for preset %q (run `%s`): %v", spec.Name, updateCmd, err)
 			}
 			if got != string(want) {
-				t.Errorf("digest drifted from %s — if intentional, run `make golden-update` and commit the diff\n--- got\n%s--- want\n%s",
-					path, got, want)
+				t.Errorf("digest drifted from %s — if intentional, run `%s` and commit the diff\n--- got\n%s--- want\n%s",
+					path, updateCmd, got, want)
 			}
 		})
 	}
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	specs := scenario.PacketPresets()
+	if len(specs) < 6 {
+		t.Fatalf("only %d packet presets — the corpus shrank", len(specs))
+	}
+	verifyGoldenMatrix(t, specs, "make golden-update")
 
 	// No stale files: every golden file must correspond to a live preset.
 	if !*updateGolden {
@@ -79,6 +118,10 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 		live := map[string]bool{}
 		for _, s := range specs {
+			live[s.Name+".golden"] = true
+		}
+		// Large-N goldens belong to the scale corpus (TestGoldenScale).
+		for _, s := range scenario.ScalePresets() {
 			live[s.Name+".golden"] = true
 		}
 		for _, e := range entries {

@@ -110,3 +110,22 @@ func (r Rect) RandPoint(rng *rand.Rand) Point {
 		Y: r.Min.Y + rng.Float64()*r.Height(),
 	}
 }
+
+// Cell is one square of a uniform grid laid over the plane. The grid is
+// conceptual — nothing in this package stores cells — but the radio
+// layer's spatial index buckets stations by Cell, so the bucketing math
+// lives here next to the rest of the geometry.
+type Cell struct {
+	CX, CY int
+}
+
+// CellOf maps a point to its cell on a grid of the given cell side.
+// Cells are half-open: a coordinate exactly on a boundary belongs to the
+// higher-indexed cell (floor semantics), so every point has exactly one
+// cell and points at negative coordinates bucket consistently.
+func CellOf(p Point, side float64) Cell {
+	return Cell{
+		CX: int(math.Floor(p.X / side)),
+		CY: int(math.Floor(p.Y / side)),
+	}
+}

@@ -133,3 +133,25 @@ func TestDistSymmetryAndTriangle(t *testing.T) {
 		}
 	}
 }
+
+func TestCellOf(t *testing.T) {
+	cases := []struct {
+		p    Point
+		side float64
+		want Cell
+	}{
+		{Pt(0, 0), 100, Cell{0, 0}},
+		{Pt(99.999, 99.999), 100, Cell{0, 0}},
+		{Pt(100, 0), 100, Cell{1, 0}}, // boundary belongs to the higher cell
+		{Pt(0, 100), 100, Cell{0, 1}},
+		{Pt(-0.001, 0), 100, Cell{-1, 0}}, // negative coords bucket consistently
+		{Pt(-100, -100), 100, Cell{-1, -1}},
+		{Pt(-100.001, 0), 100, Cell{-2, 0}},
+		{Pt(250, -50), 100, Cell{2, -1}},
+	}
+	for _, c := range cases {
+		if got := CellOf(c.p, c.side); got != c.want {
+			t.Errorf("CellOf(%v, %v) = %+v, want %+v", c.p, c.side, got, c.want)
+		}
+	}
+}

@@ -76,7 +76,11 @@ func (n *Node) expire() {
 // afterTopologyChange re-derives everything that depends on the link,
 // 2-hop and topology sets: the symmetric neighborhood (logging up/down
 // diffs), the MPR set (logging changes — the detector's E1 trigger), and
-// the routing table.
+// the routing table. The route calculation itself is only marked stale
+// here and runs lazily at the next Routes/RouteTo read — it has no side
+// effects, control-plane lookups are orders of magnitude rarer than the
+// control traffic that invalidates them, and a read-time table is never
+// *staler* than the old eager snapshot (see routeTable).
 func (n *Node) afterTopologyChange() {
 	sym := n.SymNeighbors()
 	if !sym.Equal(n.prevSym) {
@@ -100,9 +104,14 @@ func (n *Node) afterTopologyChange() {
 			auditlog.FNodes("mprs", mprs.Sorted()))
 	}
 
-	n.routes = n.calculateRoutes()
+	n.routesDirty = true
 }
 
-// ForceRecalculate re-derives MPRs and routes immediately; tests use it to
-// observe state between timer ticks.
-func (n *Node) ForceRecalculate() { n.afterTopologyChange() }
+// ForceRecalculate re-derives MPRs and routes immediately — the eager
+// escape hatch from the lazy route schedule, for callers that want to
+// observe n.routes between timer ticks without going through
+// Routes/RouteTo.
+func (n *Node) ForceRecalculate() {
+	n.afterTopologyChange()
+	n.routeTable()
+}

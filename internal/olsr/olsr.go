@@ -151,6 +151,7 @@ type Node struct {
 	hnaUntil     map[wire.HNANetwork]time.Duration // network -> expiry
 	lastHelloSym map[addr.Node]addr.Set            // neighbor -> last advertised sym set
 	routes       map[addr.Node]Route
+	routesDirty  bool // routes trail the topology; recomputed on read
 
 	prevSym addr.Set // for NEIGHBOR_UP/DOWN diffs
 
@@ -161,6 +162,7 @@ type Node struct {
 	pktSeq  uint16
 	started bool
 	tickers []*sim.Ticker
+	encBuf  []byte // packet encode scratch, reused across emissions
 
 	// Stats for the overhead experiments.
 	helloTx, tcTx, tcFwd, msgRx, msgDrop uint64
@@ -168,6 +170,11 @@ type Node struct {
 
 // New creates an OLSR node. send transmits an encoded packet as a one-hop
 // broadcast; logb (optional) receives the audit log.
+//
+// The payload slice passed to send is a scratch buffer the node reuses
+// for its next emission: send must copy it before handing it to anything
+// that retains it past the call (a simulated medium keeps payloads alive
+// until delivery, so prefix-and-copy as internal/core does, or clone).
 func New(cfg Config, sched *sim.Scheduler, send func([]byte), logb *auditlog.Buffer) *Node {
 	return &Node{
 		cfg:          cfg.withDefaults(),
@@ -261,11 +268,13 @@ func (n *Node) nextMsgSeq() uint16 {
 	return n.msgSeq
 }
 
-// broadcast wraps messages into a packet and transmits it.
+// broadcast wraps messages into a packet and transmits it. The encode
+// buffer is reused across emissions (see the New contract on send).
 func (n *Node) broadcast(msgs ...wire.Message) {
 	n.pktSeq++
 	p := &wire.Packet{Seq: n.pktSeq, Messages: msgs}
-	n.send(p.Encode())
+	n.encBuf = p.AppendTo(n.encBuf[:0])
+	n.send(n.encBuf)
 }
 
 // symLink reports whether the link to x is currently symmetric.
@@ -366,10 +375,30 @@ func (n *Node) Willing(x addr.Node) wire.Willingness {
 	return wire.WillDefault
 }
 
+// routeTable returns the routing table, recomputing it if topology
+// changed since the last read. The calculation is side-effect-free — no
+// logging, no randomness, no scheduled events — so deferring it from
+// packet arrival to read time collapses the per-packet O(topology)
+// recalculation that dominated large populations into one pass per
+// actual lookup. The deferred table can only be *fresher* than the old
+// eager snapshot: entries that expired between the last topology change
+// and the read are filtered at read time instead of lingering until the
+// next expire tick, which is the RFC's intent (never route via expired
+// tuples). The golden corpus pins that no recorded scenario's digest
+// moved under the new schedule.
+func (n *Node) routeTable() map[addr.Node]Route {
+	if n.routesDirty {
+		n.routes = n.calculateRoutes()
+		n.routesDirty = false
+	}
+	return n.routes
+}
+
 // Routes returns a copy of the routing table sorted by destination.
 func (n *Node) Routes() []Route {
-	out := make([]Route, 0, len(n.routes))
-	for _, r := range n.routes {
+	table := n.routeTable()
+	out := make([]Route, 0, len(table))
+	for _, r := range table {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Dest < out[j].Dest })
@@ -378,7 +407,7 @@ func (n *Node) Routes() []Route {
 
 // RouteTo returns the route to dst, if any.
 func (n *Node) RouteTo(dst addr.Node) (Route, bool) {
-	r, ok := n.routes[dst]
+	r, ok := n.routeTable()[dst]
 	return r, ok
 }
 

@@ -47,7 +47,11 @@ func keys(m map[addr.Node]geo.Point) []addr.Node {
 
 func (tn *testNet) addNode(id addr.Node, pos geo.Point, cfg Config) *Node {
 	logb := &auditlog.Buffer{}
-	node := New(cfg, tn.sched, func(b []byte) { tn.medium.Send(id, addr.Broadcast, b) }, logb)
+	// The medium retains payloads until delivery and the node reuses its
+	// encode buffer, so the send callback must hand over a copy.
+	node := New(cfg, tn.sched, func(b []byte) {
+		tn.medium.Send(id, addr.Broadcast, append([]byte(nil), b...))
+	}, logb)
 	tn.medium.Attach(id, func() geo.Point { return pos }, func(f radio.Frame) {
 		node.HandlePacket(f.From, f.Payload)
 	})

@@ -5,6 +5,15 @@
 // depend only on which control messages arrive, when, and how often they are
 // lost, all of which this model reproduces. See DESIGN.md §2 for the
 // substitution rationale versus a full 802.11 PHY/MAC.
+//
+// Two interchangeable implementations back broadcast delivery and the
+// Neighbors query: the reference linear scan over every attached station,
+// and a uniform spatial grid (Config.Grid) that visits only the 3×3 cell
+// neighborhood of the transmitter. The grid is a pure performance
+// substitution — candidate sets are re-sorted into attachment order and
+// the loss RNG is consulted for exactly the same stations in the same
+// order, so a seeded run is byte-identical under either implementation
+// (DESIGN.md §2.4).
 package radio
 
 import (
@@ -29,6 +38,10 @@ type Propagation interface {
 	// DeliveryProb returns the probability that a frame sent over distance
 	// d meters is received. 0 means out of range.
 	DeliveryProb(d float64) float64
+	// MaxRange returns the distance beyond which DeliveryProb is always 0.
+	// The spatial grid derives its cell size from it; a model must never
+	// deliver past its MaxRange or grid runs diverge from the scan.
+	MaxRange() float64
 }
 
 // UnitDisk is the classic fixed-radius model: delivery succeeds with
@@ -46,6 +59,9 @@ func (u UnitDisk) DeliveryProb(d float64) float64 {
 	}
 	return 0
 }
+
+// MaxRange implements Propagation.
+func (u UnitDisk) MaxRange() float64 { return u.Range }
 
 // LossyDisk delivers with probability 1-Loss inside Range, degrading
 // linearly to zero between Range and FadeRange (gray zone). It approximates
@@ -71,6 +87,14 @@ func (l LossyDisk) DeliveryProb(d float64) float64 {
 	}
 }
 
+// MaxRange implements Propagation.
+func (l LossyDisk) MaxRange() float64 {
+	if l.FadeRange > l.Range {
+		return l.FadeRange
+	}
+	return l.Range
+}
+
 // Handler receives frames addressed to (or broadcast near) a station.
 type Handler func(f Frame)
 
@@ -79,6 +103,9 @@ type station struct {
 	pos     func() geo.Point
 	handler Handler
 	down    bool
+
+	ord  int      // attachment order — the deterministic iteration rank
+	cell geo.Cell // current grid bucket (grid medium only)
 }
 
 // Stats counts medium activity for the overhead experiments.
@@ -97,6 +124,22 @@ type Config struct {
 	// BitRate, if > 0, adds a size-proportional transmission delay
 	// (bits / BitRate) to every frame.
 	BitRate float64 // bits per second
+
+	// Grid selects the spatial-index implementation: stations are bucketed
+	// into square cells of side MaxRange + MaxSpeed·ReindexInterval and a
+	// broadcast only examines the 3×3 neighborhood of the transmitter.
+	// Results are identical to the linear scan as long as MaxSpeed truly
+	// bounds every station's speed.
+	Grid bool
+	// MaxSpeed is the declared upper bound on any station's speed in m/s.
+	// The grid pads its cells by MaxSpeed·ReindexInterval so a station
+	// that moved since it was last bucketed is still found. 0 means all
+	// stations are static between reindex passes.
+	MaxSpeed float64
+	// ReindexInterval is how much virtual time may pass before the grid
+	// re-buckets every station (default 1s). Transmitting stations are
+	// re-bucketed on every send regardless.
+	ReindexInterval time.Duration
 }
 
 // Medium connects stations and delivers frames between them through the
@@ -108,6 +151,26 @@ type Medium struct {
 	stations map[addr.Node]*station
 	order    []addr.Node // deterministic iteration order
 	stats    Stats
+
+	downCount int // stations currently marked down
+
+	// Spatial index (nil cells map when running the reference scan).
+	cells       map[geo.Cell][]*station
+	cellSide    float64
+	lastReindex time.Duration
+	gen         uint64 // bumped whenever any bucket membership changes
+	nbhd        map[geo.Cell]*neighborhood
+}
+
+// neighborhood caches the ord-sorted station union of one 3×3 cell block.
+// Entries are validated against the medium's bucket generation: any
+// attach, removal or cell crossing invalidates every cached union, and
+// unions rebuild lazily on next use. Down stations stay in the union
+// (power state changes nothing about cell membership) and are filtered
+// at query time, so SetDown never invalidates.
+type neighborhood struct {
+	gen   uint64
+	union []*station
 }
 
 // NewMedium creates a medium bound to the scheduler. Delivery randomness is
@@ -119,27 +182,64 @@ func NewMedium(sched *sim.Scheduler, cfg Config) *Medium {
 	if cfg.PropDelay <= 0 {
 		cfg.PropDelay = time.Millisecond
 	}
-	return &Medium{
+	if cfg.ReindexInterval <= 0 {
+		cfg.ReindexInterval = time.Second
+	}
+	m := &Medium{
 		sched:    sched,
 		cfg:      cfg,
 		rng:      sched.Rand(),
 		stations: make(map[addr.Node]*station),
 	}
+	if cfg.Grid {
+		side := cfg.Prop.MaxRange() + cfg.MaxSpeed*cfg.ReindexInterval.Seconds()
+		if side > 0 {
+			m.cells = make(map[geo.Cell][]*station)
+			m.nbhd = make(map[geo.Cell]*neighborhood)
+			m.cellSide = side
+		}
+	}
+	return m
 }
 
+// GridEnabled reports whether this medium runs on the spatial index.
+func (m *Medium) GridEnabled() bool { return m.cells != nil }
+
 // Attach registers a station. pos is sampled at transmission time so moving
-// nodes are supported; handler receives delivered frames.
+// nodes are supported; handler receives delivered frames. Re-attaching an
+// existing id replaces its position source and handler and clears any down
+// mark, keeping the station's original iteration rank.
 func (m *Medium) Attach(id addr.Node, pos func() geo.Point, handler Handler) {
-	if _, dup := m.stations[id]; !dup {
+	st := &station{id: id, pos: pos, handler: handler}
+	if old, dup := m.stations[id]; dup {
+		st.ord = old.ord
+		if old.down {
+			m.downCount--
+		}
+		if m.cells != nil {
+			m.bucketRemove(old)
+		}
+	} else {
+		st.ord = len(m.order)
 		m.order = append(m.order, id)
 	}
-	m.stations[id] = &station{id: id, pos: pos, handler: handler}
+	m.stations[id] = st
+	if m.cells != nil {
+		m.bucketInsert(st, st.pos())
+	}
 }
 
 // SetDown marks a station as powered off (true) or on (false); a down
 // station neither sends nor receives. Used for failure injection.
 func (m *Medium) SetDown(id addr.Node, down bool) {
 	if st, ok := m.stations[id]; ok {
+		if st.down != down {
+			if down {
+				m.downCount++
+			} else {
+				m.downCount--
+			}
+		}
 		st.down = down
 	}
 }
@@ -161,7 +261,34 @@ func (m *Medium) InRange(a, b addr.Node) bool {
 // Neighbors returns the stations currently within (possibly lossy) range of
 // id, in deterministic order.
 func (m *Medium) Neighbors(id addr.Node) []addr.Node {
-	var out []addr.Node
+	return m.NeighborsInto(id, nil)
+}
+
+// NeighborsInto appends the stations currently within range of id to out
+// and returns the extended slice — the allocation-free variant of
+// Neighbors for callers that poll repeatedly (topology monitors, the
+// equivalence harness, benchmarks; the OLSR layer itself never queries
+// the medium — it learns neighbors from received HELLOs by design). The
+// append order is the same deterministic attachment order Neighbors uses.
+func (m *Medium) NeighborsInto(id addr.Node, out []addr.Node) []addr.Node {
+	self, ok := m.stations[id]
+	if !ok || self.down {
+		return out
+	}
+	if m.cells != nil {
+		m.reindexIfStale()
+		p := self.pos()
+		m.bucketMove(self, p)
+		for _, other := range m.neighborhoodOf(self.cell) {
+			if other == self || other.down {
+				continue
+			}
+			if m.cfg.Prop.DeliveryProb(p.Dist(other.pos())) > 0 {
+				out = append(out, other.id)
+			}
+		}
+		return out
+	}
 	for _, other := range m.order {
 		if other == id {
 			continue
@@ -210,6 +337,26 @@ func (m *Medium) Send(from, to addr.Node, payload []byte) {
 	}
 
 	if to == addr.Broadcast {
+		if m.cells != nil {
+			m.reindexIfStale()
+			m.bucketMove(src, srcPos)
+			union := m.neighborhoodOf(src.cell)
+			m.sched.Reserve(len(union))
+			visited := 0
+			for _, dst := range union {
+				if dst == src || dst.down {
+					continue
+				}
+				visited++
+				deliver(dst)
+			}
+			// Every station the grid pruned is out of range by the cell-size
+			// contract; the scan would have charged each one a lost frame.
+			eligible := len(m.order) - m.downCount - 1
+			m.stats.FramesLost += uint64(eligible - visited) //nolint:gosec // visited ⊆ eligible
+			return
+		}
+		m.sched.Reserve(len(m.order) - 1)
 		for _, id := range m.order {
 			dst := m.stations[id]
 			if dst.id == from || dst.down {
@@ -222,4 +369,99 @@ func (m *Medium) Send(from, to addr.Node, payload []byte) {
 	if dst, ok := m.stations[to]; ok && !dst.down {
 		deliver(dst)
 	}
+}
+
+// --- spatial index maintenance ---
+
+// reindexIfStale re-buckets every station once ReindexInterval of virtual
+// time has passed since the last full pass. Between passes a station's
+// recorded cell may trail its true position by at most
+// MaxSpeed·ReindexInterval — exactly the padding built into the cell
+// size — so the 3×3 candidate neighborhood still covers every station
+// the propagation model could reach. The pass runs lazily inside queries
+// rather than as a scheduled event: the medium must not perturb the
+// scheduler's event count, which the scenario digests pin.
+func (m *Medium) reindexIfStale() {
+	now := m.sched.Now()
+	if now-m.lastReindex < m.cfg.ReindexInterval {
+		return
+	}
+	m.lastReindex = now
+	for _, id := range m.order {
+		st := m.stations[id]
+		m.bucketMove(st, st.pos())
+	}
+}
+
+// bucketInsert places a station into the cell covering p.
+func (m *Medium) bucketInsert(st *station, p geo.Point) {
+	st.cell = geo.CellOf(p, m.cellSide)
+	m.cells[st.cell] = append(m.cells[st.cell], st)
+	m.gen++
+}
+
+// bucketRemove drops a station from its recorded cell.
+func (m *Medium) bucketRemove(st *station) {
+	bucket := m.cells[st.cell]
+	for i, other := range bucket {
+		if other == st {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = nil
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(m.cells, st.cell)
+	} else {
+		m.cells[st.cell] = bucket
+	}
+	m.gen++
+}
+
+// bucketMove re-buckets a station whose sampled position is p.
+func (m *Medium) bucketMove(st *station, p geo.Point) {
+	c := geo.CellOf(p, m.cellSide)
+	if c == st.cell {
+		return
+	}
+	m.bucketRemove(st)
+	st.cell = c
+	m.cells[c] = append(m.cells[c], st)
+	m.gen++
+}
+
+// neighborhoodOf returns every station bucketed in the 3×3 cell block
+// around c, sorted into attachment order so callers visit stations
+// exactly as the reference scan would. The union is cached per cell and
+// revalidated against the bucket generation — in quasi-static stretches
+// (most of a run, even under mobility: a station crosses a ≥range-sized
+// cell boundary rarely) a broadcast costs one map hit instead of nine
+// plus a sort. Callers must still filter down stations and the sender.
+func (m *Medium) neighborhoodOf(c geo.Cell) []*station {
+	nb := m.nbhd[c]
+	if nb != nil && nb.gen == m.gen {
+		return nb.union
+	}
+	if nb == nil {
+		nb = &neighborhood{}
+		m.nbhd[c] = nb
+	}
+	nb.union = nb.union[:0]
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			nb.union = append(nb.union, m.cells[geo.Cell{CX: c.CX + dx, CY: c.CY + dy}]...)
+		}
+	}
+	// Insertion sort: unions are small (~a dozen stations at working
+	// densities) and rebuilt rarely; a generic sort's indirection costs
+	// more than it saves here.
+	s := nb.union
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ord < s[j-1].ord; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	nb.gen = m.gen
+	return s
 }

@@ -79,6 +79,13 @@ func Build(spec Spec) (*Built, error) {
 			Prop:      spec.radioProp(),
 			PropDelay: spec.Radio.PropDelay.D(),
 			BitRate:   spec.Radio.BitRate,
+			Grid:      spec.Radio.Medium == "grid",
+			// Mobility.MaxSpeed bounds every moving station the builder
+			// creates: waypoint and walk models never exceed it, pinned
+			// attackers and explicit placements are static, and wormhole
+			// mouths track node positions. That bound is what licenses the
+			// grid's cell padding (DESIGN.md §2.4).
+			MaxSpeed: spec.Mobility.MaxSpeed,
 		},
 	})
 	b := &Built{Spec: spec, Net: w, Victim: addr.NodeAt(spec.Victim)}

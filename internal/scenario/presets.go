@@ -59,12 +59,25 @@ func Presets() []Spec {
 	return out
 }
 
-// PacketPresets returns the packet-kind presets, sorted by name — the
-// golden regression corpus.
+// PacketPresets returns the packet-kind presets of ordinary size, sorted
+// by name — the golden regression corpus every CI run regenerates.
+// Large-N presets are excluded; ScalePresets returns those.
 func PacketPresets() []Spec {
 	var out []Spec
 	for _, s := range Presets() {
-		if s.WithDefaults().Kind == KindPacket {
+		if s.WithDefaults().Kind == KindPacket && !s.Scale {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ScalePresets returns the large-N packet presets, sorted by name — the
+// corpus of the scale CI job (TestGoldenScale, idsbench -sweep scale).
+func ScalePresets() []Spec {
+	var out []Spec
+	for _, s := range Presets() {
+		if s.WithDefaults().Kind == KindPacket && s.Scale {
 			out = append(out, s)
 		}
 	}
@@ -184,6 +197,7 @@ func init() {
 		},
 	})
 	Register(x5Baselines())
+	registerScalePresets()
 	Register(Spec{
 		Name:        "paper-figures",
 		Description: "the §V round-based population behind Figures 1-3 (run with trustlab)",
@@ -197,6 +211,70 @@ func init() {
 			InitialTrustMin: 0.05,
 			InitialTrustMax: 0.95,
 			LiarCounts:      []int{0, 2, 4, 6},
+		},
+	})
+}
+
+// registerScalePresets adds the large-N presets: the same attack
+// narratives as the small corpus, at populations the naive medium scan
+// cannot sustain. They default to the grid medium (the scale golden
+// check re-runs them on the scan to prove equivalence) and are excluded
+// from the per-PR golden corpus — the scale CI job owns them.
+func registerScalePresets() {
+	Register(Spec{
+		Name: "linkspoof-200",
+		Description: "phantom-neighbor link spoofing in a 200-node grid " +
+			"(the paper's §III-A attack at 12× its evaluation scale)",
+		Seed:      1,
+		Nodes:     200,
+		ArenaSide: 2000,
+		Scale:     true,
+		Radio:     RadioSpec{Medium: "grid"},
+		Duration:  Dur(90 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 200, Mode: "phantom", At: Dur(30 * time.Second), Pin: true, DropCtrl: true},
+		},
+	})
+	Register(Spec{
+		Name:        "linkspoof-200-mobile",
+		Description: "the 200-node spoofing scenario under 2 m/s random-waypoint mobility",
+		Seed:        1,
+		Nodes:       200,
+		ArenaSide:   2000,
+		Scale:       true,
+		Radio:       RadioSpec{Medium: "grid"},
+		Mobility:    MobilitySpec{Model: "waypoint", MaxSpeed: 2},
+		Duration:    Dur(90 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 200, Mode: "phantom", At: Dur(30 * time.Second), Pin: true, DropCtrl: true},
+		},
+	})
+	Register(Spec{
+		Name: "storm-500",
+		Description: "forged-TC broadcast storm beside the victim in a " +
+			"500-node grid — the densest population of the corpus",
+		Seed:      1,
+		Nodes:     500,
+		ArenaSide: 3000,
+		Scale:     true,
+		Radio:     RadioSpec{Medium: "grid"},
+		Duration:  Dur(30 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "storm", Node: 2, Peer: 4, Target: 3, At: Dur(10 * time.Second), For: Dur(15 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name:        "storm-500-mobile",
+		Description: "the 500-node storm scenario under 2 m/s random-waypoint mobility",
+		Seed:        1,
+		Nodes:       500,
+		ArenaSide:   3000,
+		Scale:       true,
+		Radio:       RadioSpec{Medium: "grid"},
+		Mobility:    MobilitySpec{Model: "waypoint", MaxSpeed: 2},
+		Duration:    Dur(30 * time.Second),
+		Attacks: []AttackSpec{
+			{Kind: "storm", Node: 2, Peer: 4, Target: 3, At: Dur(10 * time.Second), For: Dur(15 * time.Second)},
 		},
 	})
 }

@@ -82,6 +82,11 @@ type Position struct {
 type RadioSpec struct {
 	// Model is "unitdisk" (default) or "lossy".
 	Model string `json:"model,omitempty"`
+	// Medium selects the delivery implementation: "scan" (default) is the
+	// reference linear scan, "grid" the spatial index (radio.Config.Grid).
+	// The two produce byte-identical digests — the golden cross-check
+	// enforces it — so the choice is purely about speed at scale.
+	Medium string `json:"medium,omitempty"`
 	// Range is the (reliable) radio range in meters (default 200).
 	Range float64 `json:"range,omitempty"`
 	// FadeRange and Loss parameterize the lossy model (see radio.LossyDisk).
@@ -180,6 +185,10 @@ type Spec struct {
 	Duration Duration     `json:"duration"`
 	Radio    RadioSpec    `json:"radio"`
 	Mobility MobilitySpec `json:"mobility"`
+	// Scale marks a large-N preset: excluded from the default golden
+	// corpus (PacketPresets) and exercised by the scale CI job instead
+	// (ScalePresets, TestGoldenScale).
+	Scale bool `json:"scale,omitempty"`
 	// Victim is the observing/detecting node (default 1).
 	Victim int `json:"victim,omitempty"`
 	// DetectAll runs a detector on every node instead of the victim only.
@@ -223,6 +232,9 @@ func (s Spec) WithDefaults() Spec {
 	}
 	if s.Radio.Model == "" {
 		s.Radio.Model = "unitdisk"
+	}
+	if s.Radio.Medium == "" {
+		s.Radio.Medium = "scan"
 	}
 	if s.Radio.Range <= 0 {
 		s.Radio.Range = 200
@@ -268,6 +280,11 @@ func (s Spec) Validate() error {
 	case "unitdisk", "lossy":
 	default:
 		return fmt.Errorf("scenario %q: unknown radio model %q", s.Name, s.Radio.Model)
+	}
+	switch s.Radio.Medium {
+	case "", "scan", "grid":
+	default:
+		return fmt.Errorf("scenario %q: unknown radio medium %q", s.Name, s.Radio.Medium)
 	}
 	switch s.Mobility.Model {
 	case "static", "waypoint", "walk":

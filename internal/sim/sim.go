@@ -99,6 +99,18 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // events that have not been reaped yet.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// Reserve grows the event queue's capacity so the next n At/After calls
+// do not reallocate it. Bulk schedulers (the radio medium fanning one
+// broadcast out to every receiver) call it once per burst; it has no
+// observable effect on event ordering or timing.
+func (s *Scheduler) Reserve(n int) {
+	if free := cap(s.events) - len(s.events); free < n {
+		grown := make(eventHeap, len(s.events), len(s.events)+n)
+		copy(grown, s.events)
+		s.events = grown
+	}
+}
+
 // Processed returns how many events have run so far.
 func (s *Scheduler) Processed() uint64 { return s.ran }
 

@@ -232,3 +232,17 @@ func TestManyEventsStaySorted(t *testing.T) {
 		t.Fatalf("processed %d, want %d", s.Processed(), n)
 	}
 }
+
+func TestReservePreservesOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Reserve(64)
+	s.After(time.Millisecond, func() { got = append(got, 1) })
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Reserve(0) // no-op
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran as %v, want [1 2 3]", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -440,13 +441,29 @@ type Packet struct {
 	Messages []Message
 }
 
-// Encode serializes the packet in RFC 3626 wire format.
-func (p *Packet) Encode() []byte {
+// EncodedSize returns the exact byte length Encode produces.
+func (p *Packet) EncodedSize() int {
 	size := pktHeaderLen
 	for i := range p.Messages {
 		size += p.Messages[i].encodedSize()
 	}
-	b := make([]byte, size)
+	return size
+}
+
+// Encode serializes the packet in RFC 3626 wire format.
+func (p *Packet) Encode() []byte {
+	return p.AppendTo(nil)
+}
+
+// AppendTo serializes the packet onto dst and returns the extended slice.
+// Emission hot paths pass a retained buffer (dst[:0]) so steady-state
+// encoding allocates nothing. Every byte of the encoding is written, so
+// stale buffer contents cannot leak into the output.
+func (p *Packet) AppendTo(dst []byte) []byte {
+	size := p.EncodedSize()
+	start := len(dst)
+	dst = slices.Grow(dst, size)[:start+size]
+	b := dst[start:]
 	binary.BigEndian.PutUint16(b, uint16(size)) //nolint:gosec // bounded by caller
 	binary.BigEndian.PutUint16(b[2:], p.Seq)
 	off := pktHeaderLen
@@ -454,7 +471,7 @@ func (p *Packet) Encode() []byte {
 		p.Messages[i].encodeTo(b[off:])
 		off += p.Messages[i].encodedSize()
 	}
-	return b
+	return dst
 }
 
 // DecodePacket parses an RFC 3626 packet. It returns an error for any

@@ -398,3 +398,45 @@ func TestDecodeDoesNotPanicOnGarbage(t *testing.T) {
 		_, _ = DecodePacket(b)
 	}
 }
+
+// TestAppendToMatchesEncode pins the buffer-reuse encode path: AppendTo
+// onto a dirty retained buffer must produce exactly the bytes Encode
+// allocates fresh, and EncodedSize must predict the length.
+func TestAppendToMatchesEncode(t *testing.T) {
+	pkts := []*Packet{
+		{Seq: 1, Messages: []Message{{
+			VTime: 6 * time.Second, Originator: addr.NodeAt(1), TTL: 1, Seq: 9,
+			Body: &Hello{HTime: 2 * time.Second, Will: WillDefault, Links: []LinkBlock{
+				{Code: MakeLinkCode(NeighSym, LinkSym), Neighbors: []addr.Node{addr.NodeAt(2), addr.NodeAt(3)}},
+				{Code: MakeLinkCode(NeighNot, LinkAsym), Neighbors: []addr.Node{addr.NodeAt(4)}},
+			}},
+		}}},
+		{Seq: 2, Messages: []Message{{
+			VTime: 15 * time.Second, Originator: addr.NodeAt(5), TTL: 64, HopCount: 2, Seq: 77,
+			Body: &TC{ANSN: 12, Advertised: []addr.Node{addr.NodeAt(1), addr.NodeAt(9)}},
+		}, {
+			VTime: 15 * time.Second, Originator: addr.NodeAt(5), TTL: 64, Seq: 78,
+			Body: &MID{Interfaces: []addr.Node{addr.NodeAt(40)}},
+		}}},
+	}
+	buf := []byte{0xde, 0xad, 0xbe, 0xef} // dirty scratch, reused across packets
+	for i, p := range pkts {
+		want := p.Encode()
+		if got := p.EncodedSize(); got != len(want) {
+			t.Fatalf("packet %d: EncodedSize %d, Encode produced %d bytes", i, got, len(want))
+		}
+		buf = p.AppendTo(buf[:0])
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatalf("packet %d: AppendTo != Encode\n got %x\nwant %x", i, buf, want)
+		}
+		if _, err := DecodePacket(buf); err != nil {
+			t.Fatalf("packet %d: AppendTo output does not decode: %v", i, err)
+		}
+	}
+	// Appending after existing content preserves the prefix.
+	prefix := []byte{0x01}
+	out := pkts[0].AppendTo(prefix)
+	if out[0] != 0x01 || !reflect.DeepEqual(out[1:], pkts[0].Encode()) {
+		t.Fatal("AppendTo clobbered the existing prefix")
+	}
+}
