@@ -49,9 +49,13 @@ scale:
 scale-update:
 	REPRO_SCALE=1 $(GO) test -run TestGoldenScale -update-golden -count=1 -timeout 40m .
 
-# Short local fuzz pass over the wire codec (CI runs the same budget).
+# Short local fuzz pass over the codecs and the proof verifier (CI runs
+# the same budget per target).
 fuzz:
-	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz='^FuzzDecodePacket$$' -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz='^FuzzParseLine$$' -fuzztime=30s ./internal/auditlog
+	$(GO) test -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=30s ./internal/auditlog
+	$(GO) test -fuzz='^FuzzVerifyInclusion$$' -fuzztime=30s ./internal/auditlog
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	idsbench -sweep baselines   # X5: storm/replay/drop signature coverage
 //	idsbench -sweep scenarios   # X6: the scenario preset matrix + digests
 //	idsbench -sweep scale       # X7: large-N presets, grid vs scan medium
+//	idsbench -sweep forgers     # X8: detection vs log-forger fraction
 //
 // Sweeps run on the parallel experiment engine (DESIGN.md §6): -workers
 // sets the pool size (default GOMAXPROCS) and -seed the root seed every
@@ -33,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios or scale")
+		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale or forgers")
 		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
 		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -145,6 +146,24 @@ func run() error {
 				gridWall.Round(10*time.Millisecond), scanWall.Round(10*time.Millisecond),
 				float64(scanWall)/float64(gridWall))
 		}
+
+	case "forgers":
+		// X8: the phantom spoofer shielded by k log-forging responders,
+		// with and without the tamper-evident evidence plane. The plain
+		// arm runs the same k responders as classic §V liars.
+		pts := eng.ForgerSweep(*runs, []int{0, 1, 2, 3})
+		fmt.Println("X8: detection vs log-forger fraction (16 nodes, phantom spoofer + k forging responders)")
+		fmt.Printf("%8s | %-30s | %-22s\n", "", "evidence plane (forgers)", "plain plane (liars)")
+		fmt.Printf("%8s | %9s %10s %9s | %9s %12s\n",
+			"forgers", "spoofer", "meanDelay", "caught", "spoofer", "meanDelay")
+		for _, p := range pts {
+			fmt.Printf("%8d | %6d/%-2d %10s %6d/%-2d | %6d/%-2d %12s\n",
+				p.Forgers,
+				p.SpooferDetected, p.Trials, p.MeanDelay.Round(100*time.Millisecond),
+				p.ForgersCaught, p.Forgers*p.Trials,
+				p.LiarArmDetected, p.Trials, p.LiarArmMeanDelay.Round(100*time.Millisecond))
+		}
+		fmt.Println("(caught = forging responders convicted via tree-head gossip / reply proofs)")
 
 	default:
 		return fmt.Errorf("unknown -sweep %q", *sweep)

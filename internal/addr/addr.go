@@ -36,20 +36,24 @@ func (n Node) Index() int {
 
 // String renders the address as a dotted quad, or "*" for Broadcast.
 func (n Node) String() string {
+	return string(n.AppendText(make([]byte, 0, 15)))
+}
+
+// AppendText appends the String rendering to b without intermediate
+// allocations — the audit log renders two addresses per sealed record,
+// which makes this a hot path at scale.
+func (n Node) AppendText(b []byte) []byte {
 	if n == Broadcast {
-		return "*"
+		return append(b, '*')
 	}
 	v := uint32(n)
-	var b strings.Builder
-	b.Grow(15)
-	b.WriteString(strconv.Itoa(int(v >> 24)))
-	b.WriteByte('.')
-	b.WriteString(strconv.Itoa(int(v >> 16 & 0xff)))
-	b.WriteByte('.')
-	b.WriteString(strconv.Itoa(int(v >> 8 & 0xff)))
-	b.WriteByte('.')
-	b.WriteString(strconv.Itoa(int(v & 0xff)))
-	return b.String()
+	b = strconv.AppendUint(b, uint64(v>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(v>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(v>>8&0xff), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(v&0xff), 10)
 }
 
 // Parse converts a dotted-quad string (or "*") back into a Node.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/auditlog"
 	"repro/internal/geo"
 	"repro/internal/olsr"
 	"repro/internal/radio"
@@ -356,6 +357,101 @@ func (r *Replayer) Capture(sched *sim.Scheduler, send func([]byte), raw []byte) 
 			r.replayed++
 		})
 	}
+}
+
+// AlibiLink is one fabricated adjacency a LogForger backs with forged
+// records: the protected suspect and the link endpoint it claims.
+type AlibiLink struct {
+	Suspect, Endpoint addr.Node
+}
+
+// LogForger is the evidence-plane adversary (DESIGN.md §8): a responder
+// that lies to protect its accomplices AND rewrites its own audit log so
+// the citations attached to its lies point at fabricated records. The
+// rewrite is exactly what the sealed log makes evident — the forger's
+// rebuilt Merkle tree cannot be linked to any tree head it gossiped
+// before the rewrite, and its forward-secure chain fails k_0 audit — so
+// this attacker exists to be caught: the log-forger scenarios measure
+// how fast, and at what collusion fraction the catch still happens.
+type LogForger struct {
+	// Self is the forger's own address (set by core when installed).
+	Self addr.Node
+	// Log is the forger's own sealed audit log (set by core).
+	Log *auditlog.Buffer
+	// Alibis are the fabricated adjacencies to plant records for.
+	Alibis []AlibiLink
+	// Liar supplies the testimony-inversion behavior; its Protect set
+	// names the suspects the forger covers for.
+	Liar Liar
+	// Active gates both the lying and the forging; nil = always active.
+	Active func() bool
+
+	rewrites   uint64
+	fabricated uint64
+}
+
+// Rewrites returns how many times the forger rewrote its history.
+func (f *LogForger) Rewrites() uint64 { return f.rewrites }
+
+// Fabricated returns how many alibi records the forger planted.
+func (f *LogForger) Fabricated() uint64 { return f.fabricated }
+
+// Lies returns how many investigation answers the forger inverted.
+func (f *LogForger) Lies() uint64 { return f.Liar.Lies() }
+
+// Mutate is the responder hook: honest until Active, lying like a Liar
+// afterwards.
+func (f *LogForger) Mutate(suspect addr.Node, linkExists, answered bool) (bool, bool) {
+	if f.Active != nil && !f.Active() {
+		return linkExists, answered
+	}
+	return f.Liar.Mutate(suspect, linkExists, answered)
+}
+
+// Forge performs one rewrite pass at virtual time now: it erases every
+// retained HELLO_RX from the alibi endpoints (the records that would
+// contradict the story), plants fresh fabricated HELLOs advertising the
+// protected links, and reseals the log. The reseal necessarily uses the
+// forger's current epoch key — the pre-compromise keys are gone — and
+// rebuilds the Merkle tree from the rewritten history.
+func (f *LogForger) Forge(now time.Duration) {
+	if f.Active != nil && !f.Active() {
+		return
+	}
+	endpoints := make(addr.Set, len(f.Alibis))
+	for _, a := range f.Alibis {
+		endpoints.Add(a.Endpoint)
+	}
+	recs, _ := f.Log.Since(0)
+	kept := recs[:0]
+	for _, r := range recs {
+		if r.Kind == auditlog.KindHelloRx {
+			if from, err := r.NodeField("from"); err == nil && endpoints.Has(from) {
+				continue // reality, erased
+			}
+		}
+		kept = append(kept, r)
+	}
+	for _, a := range f.Alibis {
+		kept = append(kept, auditlog.Record{
+			T:    now,
+			Node: f.Self,
+			Kind: auditlog.KindHelloRx,
+			Fields: []auditlog.Field{
+				auditlog.FNode("from", a.Endpoint),
+				auditlog.FNodes("sym", []addr.Node{a.Suspect, f.Self}),
+			},
+		})
+		f.fabricated++
+	}
+	f.Log.Rewrite(kept)
+	f.rewrites++
+}
+
+// Start schedules periodic forging so the alibi stays fresh against the
+// router's ongoing honest logging. Stop the returned ticker to cease.
+func (f *LogForger) Start(sched *sim.Scheduler, start, interval time.Duration) *sim.Ticker {
+	return sched.Every(start, interval, 0, func() { f.Forge(sched.Now()) })
 }
 
 // Liar answers link-verification requests falsely to foil investigations

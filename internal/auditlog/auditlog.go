@@ -11,9 +11,12 @@ package auditlog
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/addr"
 )
@@ -39,8 +42,9 @@ const (
 	KindBadPacket    Kind = "BAD_PACKET"
 )
 
-// Field is one key=value pair of a record. Values must not contain spaces;
-// lists are comma-separated.
+// Field is one key=value pair of a record. Keys and values may contain
+// arbitrary bytes — the codec percent-escapes the separator characters —
+// but conventional values are plain tokens; lists are comma-separated.
 type Field struct {
 	Key, Value string
 }
@@ -119,72 +123,245 @@ func (r *Record) IntField(key string) (int, error) {
 	return strconv.Atoi(v)
 }
 
+const hexDigits = "0123456789ABCDEF"
+
+// needsEscape reports whether a rune must not appear raw inside a key,
+// kind or value: the token separators (ParseLine splits with
+// strings.Fields, which breaks on ALL Unicode whitespace, not just
+// ASCII), the key/value separator, and the escape character itself.
+func needsEscape(r rune) bool {
+	return r == '%' || r == '=' || unicode.IsSpace(r)
+}
+
+// appendEscaped appends s to b, percent-escaping the separator runes
+// (each UTF-8 byte individually) so any string survives the line codec.
+// Ordinary protocol tokens (addresses, kinds, integers) contain none and
+// are appended verbatim.
+func appendEscaped(b []byte, s string) []byte {
+	if strings.IndexFunc(s, needsEscape) < 0 {
+		return append(b, s...)
+	}
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if needsEscape(r) {
+			for j := i; j < i+size; j++ {
+				b = append(b, '%', hexDigits[s[j]>>4], hexDigits[s[j]&0x0f])
+			}
+		} else {
+			// Invalid UTF-8 bytes (RuneError, size 1) pass through raw:
+			// they are not whitespace to strings.Fields either.
+			b = append(b, s[i:i+size]...)
+		}
+		i += size
+	}
+	return b
+}
+
+// unescapeToken inverts escapeToken.
+func unescapeToken(s string) (string, error) {
+	if !strings.Contains(s, "%") {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("truncated %%-escape in %q", s)
+		}
+		hi := strings.IndexByte(hexDigits, upperHex(s[i+1]))
+		lo := strings.IndexByte(hexDigits, upperHex(s[i+2]))
+		if hi < 0 || lo < 0 {
+			return "", fmt.Errorf("bad %%-escape %q in %q", s[i:i+3], s)
+		}
+		b.WriteByte(byte(hi<<4 | lo))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func upperHex(c byte) byte {
+	if c >= 'a' && c <= 'f' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
 // String renders the record as one log line:
 //
 //	t=2.000s node=10.0.0.1 kind=HELLO_RX from=10.0.0.2 sym=10.0.0.3,10.0.0.4
+//
+// Separator bytes inside kinds, keys or values are percent-escaped, so
+// the rendering is injective over (Kind, Node, Fields) and ParseLine
+// inverts it exactly — the property the sealed log's leaf hashing and
+// the proof-carrying citations depend on.
 func (r *Record) String() string {
-	var b strings.Builder
-	b.WriteString("t=")
-	b.WriteString(strconv.FormatFloat(r.T.Seconds(), 'f', 3, 64))
-	b.WriteString("s node=")
-	b.WriteString(r.Node.String())
-	b.WriteString(" kind=")
-	b.WriteString(string(r.Kind))
-	for _, f := range r.Fields {
-		b.WriteByte(' ')
-		b.WriteString(f.Key)
-		b.WriteByte('=')
-		b.WriteString(f.Value)
-	}
-	return b.String()
+	return string(r.appendLine(make([]byte, 0, 96)))
 }
 
-// ParseLine inverts Record.String.
+// appendLine appends the String rendering to b — the sealing path hashes
+// every record's line, so the renderer must not allocate per record.
+func (r *Record) appendLine(b []byte) []byte {
+	b = append(b, "t="...)
+	b = strconv.AppendFloat(b, r.T.Seconds(), 'f', 3, 64)
+	b = append(b, "s node="...)
+	b = r.Node.AppendText(b)
+	b = append(b, " kind="...)
+	b = appendEscaped(b, string(r.Kind))
+	for _, f := range r.Fields {
+		b = append(b, ' ')
+		b = appendEscaped(b, f.Key)
+		b = append(b, '=')
+		b = appendEscaped(b, f.Value)
+	}
+	return b
+}
+
+// ParseError is the typed error every auditlog decoding path returns: it
+// names the offending line and token so log-ingest failures are
+// attributable instead of silently skipped.
+type ParseError struct {
+	Line  string // the rejected line
+	Token string // the offending token, when one is identifiable
+	Msg   string // what was wrong
+	Err   error  // underlying parse error, if any
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	s := "auditlog: " + e.Msg
+	if e.Token != "" {
+		s += fmt.Sprintf(" (token %q)", e.Token)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ParseLine inverts Record.String. The header is positional — token 0
+// is `t=`, token 1 `node=`, token 2 `kind=` — exactly as String renders
+// it; a field that happens to be KEYED "t", "node" or "kind" therefore
+// always decodes back into a field, never into the header, which is
+// what makes the codec an exact inverse for every record (including one
+// whose Node is the zero address). All errors are *ParseError.
 func ParseLine(line string) (Record, error) {
 	var r Record
+	fail := func(tok, msg string, err error) (Record, error) {
+		return Record{}, &ParseError{Line: line, Token: tok, Msg: msg, Err: err}
+	}
 	for i, tok := range strings.Fields(line) {
 		k, v, ok := strings.Cut(tok, "=")
 		if !ok {
-			return Record{}, fmt.Errorf("auditlog: token %q is not key=value", tok)
+			return fail(tok, "token is not key=value", nil)
 		}
-		switch {
-		case i == 0 && k == "t":
+		switch i {
+		case 0:
+			if k != "t" {
+				return fail(tok, "line must start with t=", nil)
+			}
 			secs, err := strconv.ParseFloat(strings.TrimSuffix(v, "s"), 64)
 			if err != nil {
-				return Record{}, fmt.Errorf("auditlog: bad time %q: %w", v, err)
+				return fail(tok, "bad time", err)
 			}
-			r.T = time.Duration(secs * float64(time.Second))
-		case k == "node" && r.Node == addr.None:
+			// The codec renders whole milliseconds; rounding at that
+			// granularity makes decode(encode(r)) recover r.T exactly
+			// instead of landing one ULP short after the float multiply.
+			ms := math.Round(secs * 1e3)
+			const msRange = float64(math.MaxInt64 / int64(time.Millisecond))
+			if !(ms >= -msRange && ms <= msRange) {
+				return fail(tok, "time out of range", nil)
+			}
+			r.T = time.Duration(ms) * time.Millisecond
+		case 1:
+			if k != "node" {
+				return fail(tok, "second token must be node=", nil)
+			}
 			n, err := addr.Parse(v)
 			if err != nil {
-				return Record{}, err
+				return fail(tok, "bad node", err)
 			}
 			r.Node = n
-		case k == "kind" && r.Kind == "":
-			r.Kind = Kind(v)
+		case 2:
+			if k != "kind" {
+				return fail(tok, "third token must be kind=", nil)
+			}
+			kind, err := unescapeToken(v)
+			if err != nil {
+				return fail(tok, "bad kind", err)
+			}
+			if kind == "" {
+				return fail(tok, "empty kind", nil)
+			}
+			r.Kind = Kind(kind)
 		default:
-			r.Fields = append(r.Fields, Field{Key: k, Value: v})
+			key, err := unescapeToken(k)
+			if err != nil {
+				return fail(tok, "bad field key", err)
+			}
+			val, err := unescapeToken(v)
+			if err != nil {
+				return fail(tok, "bad field value", err)
+			}
+			r.Fields = append(r.Fields, Field{Key: key, Value: val})
 		}
 	}
 	if r.Kind == "" {
-		return Record{}, fmt.Errorf("auditlog: line %q has no kind", line)
+		return fail("", "line has no kind", nil)
 	}
 	return r, nil
+}
+
+// ParseDump inverts Buffer.Dump: every non-empty line must parse, and a
+// bad line aborts with a *ParseError (wrapped with its 1-based line
+// number) instead of being silently skipped.
+func ParseDump(dump string) ([]Record, error) {
+	var out []Record
+	for i, line := range strings.Split(dump, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // Buffer is an append-only log with stable sequence numbers, so multiple
 // cursors can read it independently. With MaxLen > 0 it becomes a ring: the
 // oldest records are discarded but sequence numbers keep increasing, which
 // lets cursors detect loss.
+//
+// A buffer armed with SetSealKey also seals every appended record
+// (seal.go): its canonical line extends a forward-secure hash chain and
+// becomes a leaf of the log's Merkle tree, making any later rewrite of
+// history evident. Sealing is pure computation — it draws no randomness
+// and schedules nothing — so a sealed and an unsealed run of the same
+// simulation are byte-identical; an unarmed buffer pays no sealing cost
+// at all.
 type Buffer struct {
 	MaxLen int // 0 = unbounded
 
 	recs []Record
 	base uint64 // sequence number of recs[0]
+	seal seal
 }
 
-// Append adds a record.
+// Append adds a record, sealing it when the buffer is armed.
 func (b *Buffer) Append(r Record) {
+	if b.seal.enabled {
+		b.seal.append(&r)
+	}
 	b.recs = append(b.recs, r)
 	if b.MaxLen > 0 && len(b.recs) > b.MaxLen {
 		drop := len(b.recs) - b.MaxLen

@@ -1,6 +1,7 @@
 package auditlog
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -91,6 +92,108 @@ func TestFieldAccessors(t *testing.T) {
 	}
 	if _, err := r.IntField("from"); err == nil {
 		t.Error("IntField(from) parsed an address")
+	}
+}
+
+func TestEscapedRoundTrip(t *testing.T) {
+	r := Record{
+		T: time.Second, Node: addr.NodeAt(3), Kind: Kind("ODD KIND"),
+		Fields: []Field{
+			F("detail", "a b=c"),
+			F("multi\nline", "100%"),
+			F("nbsp", "x y"),
+			F("empty", ""),
+		},
+	}
+	line := r.String()
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatalf("ParseLine(%q): %v", line, err)
+	}
+	if got.Kind != r.Kind || len(got.Fields) != len(r.Fields) {
+		t.Fatalf("round trip changed the record: %+v", got)
+	}
+	for i := range r.Fields {
+		if got.Fields[i] != r.Fields[i] {
+			t.Errorf("field %d = %+v, want %+v", i, got.Fields[i], r.Fields[i])
+		}
+	}
+	// The delimiter bug class: two different records must never render
+	// to the same line.
+	r2 := Record{T: time.Second, Node: addr.NodeAt(3), Kind: "K",
+		Fields: []Field{F("a", "1 b=2")}}
+	r3 := Record{T: time.Second, Node: addr.NodeAt(3), Kind: "K",
+		Fields: []Field{F("a", "1"), F("b", "2")}}
+	if r2.String() == r3.String() {
+		t.Fatal("distinct records share a rendering")
+	}
+}
+
+func TestReservedFieldKeysRoundTrip(t *testing.T) {
+	// Header parsing is positional, so fields KEYED like header tokens —
+	// even on a record whose Node is the zero address — must decode back
+	// into fields, not be swallowed into the header.
+	r := Record{
+		Kind: "K",
+		Fields: []Field{
+			F("node", "10.0.0.5"),
+			F("t", "9.000s"),
+			F("kind", "X"),
+		},
+	}
+	got, err := ParseLine(r.String())
+	if err != nil {
+		t.Fatalf("ParseLine(%q): %v", r.String(), err)
+	}
+	if got.Node != addr.None || got.T != 0 || got.Kind != "K" {
+		t.Fatalf("header corrupted by reserved field keys: %+v", got)
+	}
+	if len(got.Fields) != 3 || got.Fields[0] != r.Fields[0] ||
+		got.Fields[1] != r.Fields[1] || got.Fields[2] != r.Fields[2] {
+		t.Fatalf("fields changed: %+v", got.Fields)
+	}
+	// And the header really is positional: a shuffled line is rejected.
+	if _, err := ParseLine("node=10.0.0.1 t=1.000s kind=K"); err == nil {
+		t.Error("out-of-order header accepted")
+	}
+}
+
+func TestParseLineTypedError(t *testing.T) {
+	_, err := ParseLine("t=1.0s node=10.0.0.1 kind=X bad%zz=1")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Token == "" || pe.Line == "" {
+		t.Errorf("ParseError lacks context: %+v", pe)
+	}
+	if _, err := ParseLine("t=99999999999999999999s node=10.0.0.1 kind=X"); err == nil {
+		t.Error("absurd time accepted")
+	}
+}
+
+func TestParseDump(t *testing.T) {
+	var b Buffer
+	b.Append(sample())
+	r := sample()
+	r.Fields = append(r.Fields, F("note", "has spaces\nand=signs"))
+	b.Append(r)
+	recs, err := ParseDump(b.Dump())
+	if err != nil {
+		t.Fatalf("ParseDump: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ParseDump returned %d records", len(recs))
+	}
+	if v, _ := recs[1].Get("note"); v != "has spaces\nand=signs" {
+		t.Errorf("note = %q", v)
+	}
+	// A corrupt line must abort with a typed, line-numbered error — not
+	// be skipped.
+	if _, err := ParseDump(b.Dump() + "garbage line\n"); err == nil {
+		t.Fatal("corrupt dump accepted")
+	} else if var2 := new(ParseError); !errors.As(err, &var2) {
+		t.Fatalf("dump error %v is not a *ParseError", err)
 	}
 }
 

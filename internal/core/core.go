@@ -33,6 +33,21 @@ const (
 	PayloadCtrl byte = 2
 )
 
+// EvidenceConfig parameterizes the tamper-evident evidence plane
+// (DESIGN.md §8). Disabled, the network behaves exactly as before —
+// sealing still runs inside every audit log (it is pure computation),
+// but no tree heads are gossiped, no citations ride on replies, and no
+// proofs are verified.
+type EvidenceConfig struct {
+	Enabled bool
+	// GossipInterval is how often each node floods its evidence-log tree
+	// head (default 5s).
+	GossipInterval time.Duration
+	// ProvenWeight is the Eq. 8 trust multiplier for proof-backed
+	// testimony (default 2; see detect.Config.ProvenWeight).
+	ProvenWeight float64
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	Seed int64
@@ -42,6 +57,8 @@ type Config struct {
 	LogCap int
 	// CtrlTTL bounds control-plane forwarding (default 16 hops).
 	CtrlTTL int
+	// Evidence enables tree-head gossip and proof-carrying replies.
+	Evidence EvidenceConfig
 }
 
 // Network is a complete simulated MANET.
@@ -91,6 +108,10 @@ type NodeSpec struct {
 	// it would otherwise relay (a suspect dropping investigation traffic —
 	// the reason Algorithm 1 routes around it).
 	DropControl bool
+	// Forger, when set, installs a log-forging responder: it lies like a
+	// Liar and rewrites its own audit log to alibi the protected
+	// suspects. Takes precedence over Liar.
+	Forger *attack.LogForger
 	// TrustParams overrides the trust constants for this node's detector.
 	TrustParams *trust.Params
 	// AutoExclude enables the response action: a node this detector
@@ -114,12 +135,27 @@ type Node struct {
 	net         *Network
 	pos         mobility.Model
 	dropControl bool
+
+	// Evidence-plane state (nil / unused unless Config.Evidence.Enabled):
+	// the latest gossip-verified tree head per origin, the origins whose
+	// gossip exposed a rewrite, and the size of this node's own last
+	// broadcast (the anchor of the next gossip's consistency proof).
+	heads         map[addr.Node]auditlog.TreeHead
+	gossipTainted addr.Set
+	prevGossip    uint64
 }
 
 // AddNode instantiates and wires a node; call before Start.
 func (w *Network) AddNode(spec NodeSpec) *Node {
 	id := spec.ID
 	logs := &auditlog.Buffer{MaxLen: w.cfg.LogCap}
+	if w.cfg.Evidence.Enabled {
+		// A deterministic per-node key: forward security matters against
+		// the simulated forgers, not real adversaries, and deriving it
+		// from the address keeps the run seed-stable without drawing on
+		// the simulation RNG.
+		logs.SetSealKey([]byte("seal:" + id.String()))
+	}
 
 	olsrCfg := spec.OLSR
 	olsrCfg.Addr = id
@@ -149,8 +185,18 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 	}
 
 	n.Responder = &detect.Responder{Self: id, Router: router}
-	if spec.Liar != nil {
+	switch {
+	case spec.Forger != nil:
+		spec.Forger.Self = id
+		spec.Forger.Log = logs
+		n.Responder.Liar = spec.Forger.Mutate
+	case spec.Liar != nil:
 		n.Responder.Liar = spec.Liar.Mutate
+	}
+	if w.cfg.Evidence.Enabled {
+		n.Responder.Evidence = &detect.EvidenceProvider{Log: logs}
+		n.heads = make(map[addr.Node]auditlog.TreeHead)
+		n.gossipTainted = make(addr.Set)
 	}
 
 	if spec.Detector != nil {
@@ -174,6 +220,10 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 					userReport(r)
 				}
 			}
+		}
+		if w.cfg.Evidence.Enabled {
+			dcfg.Heads = n
+			dcfg.ProvenWeight = w.cfg.Evidence.ProvenWeight
 		}
 		n.Detector = detect.NewDetector(dcfg, w.Sched, router, logs, &nodeTransport{node: n}, n.Trust)
 	}
@@ -212,15 +262,29 @@ func (w *Network) AllIDs() addr.Set {
 	return s
 }
 
-// Start launches every router and detector.
+// Start launches every router and detector, and — with the evidence
+// plane enabled — every node's tree-head gossip.
 func (w *Network) Start() {
+	interval := w.cfg.Evidence.GossipInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
 	for _, id := range w.order {
 		n := w.nodes[id]
 		n.Router.Start()
 		if n.Detector != nil {
 			n.Detector.Start()
 		}
+		if w.cfg.Evidence.Enabled {
+			w.Sched.Every(interval, interval, 0.1, n.gossipHead)
+		}
 	}
+}
+
+// LatestHead implements detect.HeadSource over the node's gossip view.
+func (n *Node) LatestHead(x addr.Node) (auditlog.TreeHead, bool) {
+	h, ok := n.heads[x]
+	return h, ok
 }
 
 // RunFor advances virtual time by d.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/addr"
+	"repro/internal/auditlog"
 	"repro/internal/detect"
 )
 
@@ -13,10 +14,17 @@ type ctrlKind string
 const (
 	ctrlVerifyReq ctrlKind = "verify_req"
 	ctrlVerifyRep ctrlKind = "verify_rep"
+	// ctrlTreeHead is the evidence plane's gossip: an origin floods its
+	// sealed-log tree head, chained to its previous broadcast by a
+	// consistency proof, so every receiver can prove the origin's log
+	// only ever grew (DESIGN.md §8).
+	ctrlTreeHead ctrlKind = "tree_head"
 )
 
 // ctrlMsg is the control-plane envelope, forwarded hop by hop using each
 // relay's OLSR routing table, avoiding the nodes listed in Avoid.
+// Tree-head gossip uses the same envelope but floods: To is Broadcast
+// and relays rebroadcast each origin's head at most once per growth.
 type ctrlMsg struct {
 	Kind  ctrlKind              `json:"kind"`
 	From  addr.Node             `json:"from"`
@@ -25,6 +33,13 @@ type ctrlMsg struct {
 	Avoid []addr.Node           `json:"avoid,omitempty"`
 	Req   *detect.VerifyRequest `json:"req,omitempty"`
 	Rep   *detect.VerifyReply   `json:"rep,omitempty"`
+	// Origin is the node whose tree head is gossiped (From is the relay).
+	Origin addr.Node          `json:"origin,omitempty"`
+	Head   *auditlog.TreeHead `json:"head,omitempty"`
+	// HeadPrev is the size of the origin's previous broadcast, the old
+	// side of HeadProof.
+	HeadPrev  uint64          `json:"headPrev,omitempty"`
+	HeadProof *auditlog.Proof `json:"headProof,omitempty"`
 }
 
 // nodeTransport implements detect.Transport for one node.
@@ -117,6 +132,10 @@ func (n *Node) handleCtrl(body []byte) {
 		n.net.ctrlDropped++
 		return
 	}
+	if m.Kind == ctrlTreeHead {
+		n.handleTreeHead(&m)
+		return
+	}
 	if m.To != n.ID && n.dropControl {
 		// The suspect (or a colluder) swallowing investigation traffic —
 		// exactly what the Avoid list exists to prevent.
@@ -124,6 +143,125 @@ func (n *Node) handleCtrl(body []byte) {
 		return
 	}
 	n.forwardCtrl(&m)
+}
+
+// gossipHead floods this node's current tree head, anchored to its
+// previous broadcast by a consistency proof.
+func (n *Node) gossipHead() {
+	head := n.Logs.TreeHead()
+	m := &ctrlMsg{
+		Kind:   ctrlTreeHead,
+		From:   n.ID,
+		To:     addr.Broadcast,
+		TTL:    n.net.cfg.CtrlTTL,
+		Origin: n.ID,
+		Head:   &head,
+	}
+	if n.prevGossip > 0 && n.prevGossip <= head.Size {
+		if proof, err := n.Logs.ConsistencyProof(n.prevGossip, head.Size); err == nil {
+			m.HeadPrev = n.prevGossip
+			m.HeadProof = &proof
+		}
+	}
+	n.prevGossip = head.Size
+	n.net.ctrlSent++
+	n.broadcastTreeHead(m)
+}
+
+// broadcastTreeHead emits the gossip frame one hop in every direction.
+func (n *Node) broadcastTreeHead(m *ctrlMsg) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		n.net.ctrlDropped++
+		return
+	}
+	n.net.Medium.Send(n.ID, addr.Broadcast, append([]byte{PayloadCtrl}, raw...))
+}
+
+// handleTreeHead processes one gossiped tree head: verify it against the
+// last accepted head of the same origin, record it, hand any
+// inconsistency to the local detector as forged evidence, and relay the
+// flood while the head is news.
+//
+// Acceptance is conservative: a head only replaces the recorded one when
+// its consistency proof anchors at exactly the recorded size. A missed
+// broadcast therefore pins the receiver at an older head — which is
+// safe, because reply verification (detect.Detector.verifyEvidence)
+// bridges any gap with a consistency proof from the pinned size. What a
+// forger cannot do is advance anyone's recorded head past its rewrite:
+// the proof would have to link the honest old root to the forged tree.
+//
+// Tainting follows the transparency-log rule: punish only evidence that
+// could not coexist with an honest log — a conflicting root at the
+// recorded size, or a growth proof that fails against it. A STALE head
+// (size below the recorded one) is never punished: a delayed or
+// replayed copy of the origin's own genuine old gossip is
+// indistinguishable from a rewrite, so staleness is old news, not
+// evidence. A rewrite that shrank the log is still caught, just
+// attributably — at reply time, where the head is bound to a fresh
+// request and cannot be a replay. Gossip-level taint (like every
+// split-view check in the literature) additionally assumes heads are
+// origin-authentic — real deployments sign them; this testbed, which
+// authenticates no traffic anywhere, models that by not giving any
+// attacker a forge-gossip behavior.
+func (n *Node) handleTreeHead(m *ctrlMsg) {
+	if m.Head == nil || m.Origin == addr.None || m.Origin == n.ID || n.heads == nil {
+		return
+	}
+	if n.gossipTainted.Has(m.Origin) {
+		return // a known forger's gossip is dead to us
+	}
+	known, seen := n.heads[m.Origin]
+	if !seen {
+		// First contact: trust on first sight, like every transparency
+		// log bootstrap.
+		n.net.ctrlDelivered++
+		n.heads[m.Origin] = *m.Head
+		n.relayTreeHead(m)
+		return
+	}
+	switch {
+	case m.Head.Size < known.Size:
+		return // stale: old news (or a replay), never evidence
+	case m.Head.Size == known.Size:
+		if m.Head.Root != known.Root {
+			// Two heads for one size that cannot both be honest: the
+			// classic split view, attributable to the origin.
+			n.taintOrigin(m.Origin)
+		}
+		return // equal heads: no news, stop the flood
+	}
+	// The head grew: accept only when the proof chains from exactly our
+	// recorded head.
+	if m.HeadProof == nil || m.HeadPrev != known.Size {
+		return // unverifiable against our view; stay pinned
+	}
+	if !auditlog.VerifyConsistency(known, *m.Head, *m.HeadProof) {
+		n.taintOrigin(m.Origin)
+		return
+	}
+	n.net.ctrlDelivered++
+	n.heads[m.Origin] = *m.Head
+	n.relayTreeHead(m)
+}
+
+// taintOrigin marks an origin as a caught forger and convicts it locally.
+func (n *Node) taintOrigin(origin addr.Node) {
+	n.gossipTainted.Add(origin)
+	if n.Detector != nil {
+		n.Detector.ReportForgedEvidence(origin, "gossiped tree head inconsistent with history")
+	}
+}
+
+// relayTreeHead continues the flood.
+func (n *Node) relayTreeHead(m *ctrlMsg) {
+	if m.TTL <= 0 {
+		return
+	}
+	relay := *m
+	relay.TTL--
+	relay.From = n.ID
+	n.broadcastTreeHead(&relay)
 }
 
 // deliverCtrl hands a control message to its local consumer.

@@ -65,6 +65,11 @@ type VerifyRequest struct {
 	// suspect and any already-distrusted nodes (Algorithm 1's requirement
 	// that the suspect cannot drop or forge the exchange).
 	Avoid []addr.Node
+	// KnownHead is the responder's latest evidence-log tree head the
+	// investigator learned through gossip, so the responder can attach a
+	// consistency proof from it (evidence.go). Nil outside the evidence
+	// plane.
+	KnownHead *auditlog.TreeHead `json:"knownHead,omitempty"`
 }
 
 // VerifyReply carries a responder's answer.
@@ -81,6 +86,13 @@ type VerifyReply struct {
 	// FirstHand marks an answer from the link's own endpoint (property 5:
 	// first-hand evidence is privileged).
 	FirstHand bool
+	// Head is the responder's current evidence-log tree head;
+	// Consistency links it to the request's KnownHead, and Citations are
+	// the sealed records grounding the answer (evidence.go). All empty
+	// outside the evidence plane.
+	Head        *auditlog.TreeHead `json:"head,omitempty"`
+	Consistency *auditlog.Proof    `json:"consistency,omitempty"`
+	Citations   []Citation         `json:"citations,omitempty"`
 }
 
 // Transport routes investigation traffic; the core package implements it
@@ -101,6 +113,10 @@ type Responder struct {
 	// Liar, when set, rewrites (linkExists, answered) before the reply is
 	// sent.
 	Liar func(suspect addr.Node, linkExists, answered bool) (bool, bool)
+	// Evidence, when set, attaches the sealed-log tree head and record
+	// citations to every reply (the evidence plane, DESIGN.md §8). It
+	// runs after Liar — a liar cites its own, possibly rewritten, log.
+	Evidence *EvidenceProvider
 }
 
 // Answer produces this node's reply to a verification request.
@@ -123,6 +139,9 @@ func (r *Responder) Answer(req VerifyRequest) VerifyReply {
 		}
 		if r.Liar != nil {
 			rep.LinkExists, rep.Answered = r.Liar(req.Suspect, rep.LinkExists, rep.Answered)
+		}
+		if r.Evidence != nil {
+			r.Evidence.Attach(req, &rep)
 		}
 		return rep
 	}
@@ -165,6 +184,9 @@ func (r *Responder) Answer(req VerifyRequest) VerifyReply {
 	if r.Liar != nil {
 		rep.LinkExists, rep.Answered = r.Liar(req.Suspect, rep.LinkExists, rep.Answered)
 	}
+	if r.Evidence != nil {
+		r.Evidence.Attach(req, &rep)
+	}
 	return rep
 }
 
@@ -206,6 +228,13 @@ type Config struct {
 	KnownNodes addr.Set
 	// OnReport, when set, observes every finalized investigation round.
 	OnReport func(Report)
+	// Heads, when set, enables the evidence plane: replies are verified
+	// against gossiped tree heads (evidence.go), proof-backed testimony
+	// is boosted, and proof failures convict the responder.
+	Heads HeadSource
+	// ProvenWeight is the Eq. 8 trust multiplier for proof-backed
+	// testimony (default 2).
+	ProvenWeight float64
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +261,7 @@ type investigation struct {
 	adv     map[addr.Node]bool // link endpoint -> suspect advertised it
 	pending map[uint64]VerifyRequest
 	replies []VerifyReply
+	weights []float64 // per-reply Eq. 8 weight (proof-backed testimony > 1)
 	local   []trust.Observation
 	// gravity is the most serious evidence class observed this round
 	// (property 2/3 of §IV-A); it scales the verdict's trust impact.
@@ -256,9 +286,13 @@ type Detector struct {
 	noInfo         map[addr.Node]addr.Set          // suspect -> responders that abstained
 	timeouts       map[addr.Node]map[addr.Node]int // suspect -> responder -> missed rounds
 	hintLinks      map[addr.Node]addr.Set          // suspect -> omitted endpoints from alerts
+	lastRound      map[addr.Node]int               // suspect -> highest finalized round
+	tainted        addr.Set                        // nodes caught forging evidence
 	reports        []Report
 	alerts         []signature.Alert
 	parseSkipped   int
+	lateReplies    uint64
+	proofFailures  uint64
 	ticker         *sim.Ticker
 	investigations uint64
 }
@@ -294,6 +328,8 @@ func NewDetector(
 		noInfo:    make(map[addr.Node]addr.Set),
 		timeouts:  make(map[addr.Node]map[addr.Node]int),
 		hintLinks: make(map[addr.Node]addr.Set),
+		lastRound: make(map[addr.Node]int),
+		tainted:   make(addr.Set),
 	}
 }
 
@@ -337,6 +373,15 @@ func (d *Detector) Verdict(n addr.Node) (trust.Verdict, bool) {
 
 // InvestigationCount returns how many investigation rounds were opened.
 func (d *Detector) InvestigationCount() uint64 { return d.investigations }
+
+// LateReplies returns how many replies arrived after their investigation
+// round was finalized (or duplicated an already-counted answer) and were
+// dropped.
+func (d *Detector) LateReplies() uint64 { return d.lateReplies }
+
+// ProofFailures returns how many replies were discarded because their
+// evidence proofs failed verification.
+func (d *Detector) ProofFailures() uint64 { return d.proofFailures }
 
 // Scan reads the new audit records, runs the signature engine, and opens
 // investigations for fresh alerts.
@@ -395,6 +440,9 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 	if _, busy := d.open[suspect]; busy {
 		return
 	}
+	if d.tainted.Has(suspect) {
+		return // convicted by forged evidence; nothing left to establish
+	}
 	if v, done := d.verdicts[suspect]; done && v != trust.Unrecognized {
 		return // settled
 	}
@@ -434,6 +482,12 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 				Advertised:   inv.adv[link],
 				Avoid:        avoid,
 			}
+			if d.cfg.Heads != nil {
+				if h, ok := d.cfg.Heads.LatestHead(responder); ok {
+					head := h
+					req.KnownHead = &head
+				}
+			}
 			inv.pending[req.ID] = req
 			d.transport.SendVerify(req)
 		}
@@ -441,14 +495,12 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 	inv.deadline = d.sched.After(d.cfg.AnswerTimeout, func() { d.finalize(inv) })
 }
 
+// roundOf returns the highest finalized round about suspect. It reads
+// the per-suspect index maintained by finalize — scanning d.reports here
+// made every new investigation O(total reports ever filed), which turned
+// long multi-suspect runs quadratic (BenchmarkRoundOf pins the fix).
 func (d *Detector) roundOf(suspect addr.Node) int {
-	round := 0
-	for i := range d.reports {
-		if d.reports[i].Suspect == suspect && d.reports[i].Round > round {
-			round = d.reports[i].Round
-		}
-	}
-	return round
+	return d.lastRound[suspect]
 }
 
 // suspiciousLinks compares the suspect's advertised symmetric neighborhood
@@ -551,6 +603,10 @@ func (d *Detector) respondersFor(suspect, link addr.Node) []addr.Node {
 	for x := range d.noInfo[suspect] {
 		resp.Remove(x)
 	}
+	// Evidence forgers are out of the witness pool for good.
+	for x := range d.tainted {
+		resp.Remove(x)
+	}
 	out := resp.Sorted()
 	if len(out) > d.cfg.MaxResponders {
 		out = out[:d.cfg.MaxResponders]
@@ -560,16 +616,47 @@ func (d *Detector) respondersFor(suspect, link addr.Node) []addr.Node {
 
 // HandleReply ingests one verification reply; the transport calls it when
 // a reply reaches the investigator.
+//
+// Replies that miss their round are dropped and counted, never merged
+// into a newer investigation: once finalize ran, its *investigation is
+// dead state, and a late reply must not resurrect it (or leak into the
+// next round's aggregate through a recycled suspect entry — request IDs
+// are globally unique exactly so this check is cheap).
 func (d *Detector) HandleReply(rep VerifyReply) {
 	inv, ok := d.open[rep.Suspect]
 	if !ok {
+		// No open investigation: the round finalized (timeout or early
+		// completion) before this reply arrived.
+		d.lateReplies++
 		return
 	}
 	if _, expected := inv.pending[rep.ID]; !expected {
+		// Duplicate delivery, or a reply to a previous round's request.
+		d.lateReplies++
 		return
 	}
 	delete(inv.pending, rep.ID)
+	weight := 0.0 // 0 = plain testimony (trust.Observation zero value)
+	if d.cfg.Heads != nil {
+		contradicts := rep.Answered && rep.LinkExists != inv.adv[rep.Link]
+		switch d.verifyEvidence(rep, contradicts) {
+		case evidenceProven:
+			weight = d.provenWeight()
+		case evidenceForged:
+			// The reply contradicts the responder's own sealed history:
+			// discard the testimony and convict the forger on first-hand
+			// cryptographic evidence.
+			d.proofFailures++
+			d.ReportForgedEvidence(rep.Responder, "reply evidence failed proof verification")
+			if len(inv.pending) == 0 && inv.deadline != nil {
+				inv.deadline.Cancel()
+				d.finalize(inv)
+			}
+			return
+		}
+	}
 	inv.replies = append(inv.replies, rep)
+	inv.weights = append(inv.weights, weight)
 	if !rep.Answered {
 		if d.noInfo[rep.Suspect] == nil {
 			d.noInfo[rep.Suspect] = make(addr.Set)
@@ -579,6 +666,45 @@ func (d *Detector) HandleReply(rep VerifyReply) {
 	if len(inv.pending) == 0 && inv.deadline != nil {
 		inv.deadline.Cancel()
 		d.finalize(inv)
+	}
+}
+
+// ReportForgedEvidence convicts a node caught with tampered evidence: a
+// gossiped tree head inconsistent with its history, or a citation whose
+// proof failed. Unlike testimony-based verdicts this is first-hand and
+// cryptographic — no confidence interval applies (Eq. 10 degenerates:
+// the evidence is exact). The core package also calls it when the
+// tree-head flood itself exposes a rewrite.
+func (d *Detector) ReportForgedEvidence(node addr.Node, detail string) {
+	if node == d.cfg.Self || d.tainted.Has(node) {
+		return
+	}
+	d.tainted.Add(node)
+	d.store.Update(node, []trust.Evidence{{Value: -1, Gravity: trust.GravityCritical}})
+	d.alerts = append(d.alerts, signature.Alert{
+		Rule:    signature.RuleEvidenceForged,
+		Subject: node,
+		At:      d.sched.Now(),
+		Detail:  detail,
+	})
+	round := d.roundOf(node) + 1
+	report := Report{
+		At:      d.sched.Now(),
+		Suspect: node,
+		Trigger: signature.RuleEvidenceForged,
+		Round:   round,
+		Detect:  -1,
+		Verdict: trust.Intruder,
+		Gravity: trust.GravityCritical,
+		Observations: []trust.Observation{
+			{Source: d.cfg.Self, Trust: 1, Evidence: -1},
+		},
+	}
+	d.reports = append(d.reports, report)
+	d.lastRound[node] = round
+	d.verdicts[node] = trust.Intruder
+	if d.cfg.OnReport != nil {
+		d.cfg.OnReport(report)
 	}
 }
 
@@ -593,7 +719,7 @@ func (d *Detector) finalize(inv *investigation) {
 
 	obs := make([]trust.Observation, 0, len(inv.replies)+len(inv.pending)+len(inv.local))
 	obs = append(obs, inv.local...)
-	for _, rep := range inv.replies {
+	for ri, rep := range inv.replies {
 		e := 0.0
 		if rep.Answered {
 			// The suspect advertised the link (adv=true) or omitted it
@@ -609,6 +735,7 @@ func (d *Detector) finalize(inv *investigation) {
 			Source:   rep.Responder,
 			Trust:    d.store.Get(rep.Responder),
 			Evidence: e,
+			Weight:   inv.weights[ri],
 		})
 	}
 	// Unanswered requests: evidence 0, but the silent node still dilutes
@@ -647,7 +774,10 @@ func (d *Detector) finalize(inv *investigation) {
 		if obs[i].Evidence != obs[j].Evidence {
 			return obs[i].Evidence < obs[j].Evidence
 		}
-		return obs[i].Trust < obs[j].Trust
+		if obs[i].Trust != obs[j].Trust {
+			return obs[i].Trust < obs[j].Trust
+		}
+		return obs[i].Weight < obs[j].Weight
 	})
 
 	detectVal, ok := trust.Detect(obs)
@@ -660,14 +790,19 @@ func (d *Detector) finalize(inv *investigation) {
 		// suspect — this is the §IV-C loop: an unrecognized verdict means
 		// "too wide, gather more evidence", and more rounds narrow ε by
 		// 1/√n until Eq. 10 can resolve.
+		// Effective trust folds in the proof weight exactly as Eq. 8 does
+		// (trust.Observation.EffTrust — one definition for both the
+		// detection value and its interval), so proven testimony narrows
+		// the interval faster too. Unweighted observations keep the exact
+		// pre-evidence-plane arithmetic.
 		var sumT float64
 		for _, o := range obs {
-			sumT += o.Trust
+			sumT += o.EffTrust()
 		}
 		meanT := sumT / float64(len(obs))
 		hist := d.samples[inv.suspect]
 		for _, o := range obs {
-			hist = append(hist, o.Trust*o.Evidence/meanT)
+			hist = append(hist, o.EffTrust()*o.Evidence/meanT)
 		}
 		if len(hist) > maxCISamples {
 			hist = hist[len(hist)-maxCISamples:]
@@ -694,13 +829,20 @@ func (d *Detector) finalize(inv *investigation) {
 		Links:        inv.links,
 	}
 	d.reports = append(d.reports, report)
-	d.verdicts[inv.suspect] = verdict
+	if inv.round > d.lastRound[inv.suspect] {
+		d.lastRound[inv.suspect] = inv.round
+	}
+	// A forged-evidence conviction landed mid-round outranks any
+	// testimony aggregate — cryptographic first-hand evidence is final.
+	if !d.tainted.Has(inv.suspect) {
+		d.verdicts[inv.suspect] = verdict
+	}
 	if d.cfg.OnReport != nil {
 		d.cfg.OnReport(report)
 	}
 
 	// Unrecognized: gather more evidence next round (§IV-C).
-	if verdict == trust.Unrecognized && inv.round < d.cfg.MaxRounds && len(inv.links) > 0 {
+	if verdict == trust.Unrecognized && inv.round < d.cfg.MaxRounds && len(inv.links) > 0 && !d.tainted.Has(inv.suspect) {
 		d.sched.After(d.cfg.ScanPeriod, func() {
 			d.OpenInvestigation(inv.suspect, inv.trigger)
 		})

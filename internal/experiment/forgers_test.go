@@ -1,0 +1,57 @@
+package experiment
+
+import "testing"
+
+func TestForgerSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level sweep is slow")
+	}
+	// One forger count, one trial, both arms: the reduction must keep the
+	// grid shape and the arms straight, and the parallel run must match
+	// the serial one bit for bit (the engine determinism contract).
+	parallel := NewRunner(1, 4).ForgerSweep(1, []int{1})
+	serial := NewRunner(1, 1).ForgerSweep(1, []int{1})
+	if len(parallel) != 1 {
+		t.Fatalf("points = %d, want 1", len(parallel))
+	}
+	p := parallel[0]
+	if p.Forgers != 1 || p.Trials != 1 {
+		t.Fatalf("point shape: %+v", p)
+	}
+	if p.SpooferDetected > p.Trials || p.LiarArmDetected > p.Trials {
+		t.Errorf("detections exceed trials: %+v", p)
+	}
+	if p.ForgersCaught > p.Forgers*p.Trials {
+		t.Errorf("forgers caught exceed population: %+v", p)
+	}
+	if parallel[0] != serial[0] {
+		t.Errorf("worker counts disagree:\n  parallel %+v\n  serial   %+v", parallel[0], serial[0])
+	}
+}
+
+func TestForgerSpecArms(t *testing.T) {
+	ev := forgerSpec(7, 2, true)
+	if err := ev.Validate(); err != nil {
+		t.Fatalf("evidence arm invalid: %v", err)
+	}
+	if ev.Evidence == nil || !ev.Evidence.Enabled || ev.Liars != 0 {
+		t.Fatalf("evidence arm misconfigured: %+v", ev)
+	}
+	forgers := 0
+	for _, a := range ev.Attacks {
+		if a.Kind == "logforge" {
+			forgers++
+		}
+	}
+	if forgers != 2 {
+		t.Fatalf("evidence arm has %d forgers, want 2", forgers)
+	}
+
+	liar := forgerSpec(7, 2, false)
+	if err := liar.Validate(); err != nil {
+		t.Fatalf("liar arm invalid: %v", err)
+	}
+	if liar.Evidence != nil || liar.Liars != 2 || len(liar.Attacks) != 1 {
+		t.Fatalf("liar arm misconfigured: %+v", liar)
+	}
+}

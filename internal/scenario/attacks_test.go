@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/trust"
 )
@@ -156,6 +157,50 @@ func TestAttackVariantCoverage(t *testing.T) {
 			for _, s := range r.Suspects {
 				if s.Kind == "blackhole" && params.Default-s.FinalTrust < 0.3 {
 					t.Errorf("X5 black hole trust damage %.3f too small", params.Default-s.FinalTrust)
+				}
+			}
+		}},
+		{"logforger", func(t *testing.T, r *Result) {
+			if alertCount(r, "evidence-forged") == 0 {
+				t.Error("forged evidence never flagged")
+			}
+			for _, s := range r.Suspects {
+				switch s.Kind {
+				case "logforge":
+					if s.ConvictedAt < 0 || s.FalsePositive {
+						t.Fatalf("log forger not convicted cleanly: %+v", s)
+					}
+					// The gossip catches the rewrite within a couple of
+					// flood periods of the first forged head.
+					if s.ConvictedAt-s.AttackAt > 15*time.Second {
+						t.Errorf("forger caught only %s after activation", s.ConvictedAt-s.AttackAt)
+					}
+					if counter(s, "rewrites") == 0 || counter(s, "fabricated") == 0 {
+						t.Error("forger never rewrote its history")
+					}
+					if s.FinalTrust >= params.Default {
+						t.Errorf("forger trust %.3f not below default", s.FinalTrust)
+					}
+				case "linkspoof":
+					// The alibi must not save the spoofer: with the forger
+					// caught and excluded, the phantom conviction goes
+					// through as in the plain linkspoof preset.
+					if s.ConvictedAt < 0 || s.FalsePositive {
+						t.Fatalf("alibied spoofer not convicted cleanly: %+v", s)
+					}
+				}
+			}
+		}},
+		{"logforger-colluding", func(t *testing.T, r *Result) {
+			if got := alertCount(r, "evidence-forged"); got != 2 {
+				t.Errorf("evidence-forged alerts = %d, want one per forger", got)
+			}
+			for _, s := range r.Suspects {
+				if s.Kind != "logforge" {
+					continue
+				}
+				if s.ConvictedAt < 0 || s.FalsePositive {
+					t.Fatalf("coordinated forger not convicted cleanly: %+v", s)
 				}
 			}
 		}},

@@ -37,6 +37,10 @@ const phantomOffset = 83
 // +2k+1 for the k-th wormhole of the mix.
 const wormholeMouthBase = 900
 
+// forgeInterval is how often a log forger rewrites its history to keep
+// the alibi ahead of its router's honest logging.
+const forgeInterval = 2 * time.Second
+
 // Counter is one named attack-side statistic of a suspect.
 type Counter struct {
 	Name  string
@@ -73,8 +77,17 @@ func Build(spec Spec) (*Built, error) {
 		return nil, fmt.Errorf("scenario %q: Build needs a packet scenario, got kind %q", spec.Name, spec.Kind)
 	}
 
+	evidence := core.EvidenceConfig{}
+	if spec.Evidence != nil && spec.Evidence.Enabled {
+		evidence = core.EvidenceConfig{
+			Enabled:        true,
+			GossipInterval: spec.Evidence.GossipInterval.D(),
+			ProvenWeight:   spec.Evidence.ProvenWeight,
+		}
+	}
 	w := core.NewNetwork(core.Config{
-		Seed: spec.Seed,
+		Seed:     spec.Seed,
+		Evidence: evidence,
 		Radio: radio.Config{
 			Prop:      spec.radioProp(),
 			PropDelay: spec.Radio.PropDelay.D(),
@@ -104,6 +117,7 @@ func Build(spec Spec) (*Built, error) {
 		spoofer *attack.LinkSpoofer
 		hooks   *olsr.Hooks
 		liar    *attack.Liar
+		forger  *attack.LogForger
 		pin     bool
 		dropCtl bool
 	}
@@ -199,6 +213,29 @@ func Build(spec Spec) (*Built, error) {
 					return []Counter{{"tunneled", wh.Tunneled()}}
 				})
 			}
+		case "logforge":
+			// The forger covers for the mix's spoofing attackers: it lies
+			// about them as a responder and plants fabricated HELLO records
+			// backing their claimed links, resealing its log each pass.
+			lf := &attack.LogForger{
+				Alibis: spec.alibisFor(a),
+				Liar:   attack.Liar{Protect: spec.protectedBy(a)},
+			}
+			lf.Active = activeAfter(a.At)
+			r := roleOf(a.Node)
+			r.forger = lf
+			r.dropCtl = a.DropCtrl
+			at := a.At.D()
+			deferred = append(deferred, func() {
+				lf.Start(w.Sched, at, forgeInterval)
+			})
+			b.addSuspect(a, a.Node, func() []Counter {
+				return []Counter{
+					{"rewrites", lf.Rewrites()},
+					{"fabricated", lf.Fabricated()},
+					{"lies", lf.Lies()},
+				}
+			})
 		case "storm":
 			st := &attack.Storm{
 				Spoof:      addr.NodeAt(a.Peer),
@@ -243,6 +280,7 @@ func Build(spec Spec) (*Built, error) {
 			ns.Spoofer = r.spoofer
 			ns.Hooks = r.hooks
 			ns.DropControl = r.dropCtl
+			ns.Forger = r.forger
 			if r.liar != nil {
 				ns.Liar = r.liar
 			}
@@ -250,7 +288,7 @@ func Build(spec Spec) (*Built, error) {
 				ns.Pos = mobility.Static{P: pts[spec.Victim-1].Add(geo.Vec{X: spec.Radio.Range / 2})}
 			}
 		}
-		if ns.Liar == nil && i > 1 && i <= 1+spec.Liars {
+		if ns.Liar == nil && ns.Forger == nil && i > 1 && i <= 1+spec.Liars {
 			ns.Liar = &attack.Liar{Protect: protect.Clone()}
 		}
 		w.AddNode(ns)
@@ -339,6 +377,61 @@ func (s Spec) mobilityFor(i int, start geo.Point) mobility.Model {
 		})
 	}
 	return mobility.Static{P: start}
+}
+
+// alibisFor resolves the fabricated adjacencies a logforge node plants:
+// every claimed link of the attacks it covers for.
+func (s Spec) alibisFor(a AttackSpec) []attack.AlibiLink {
+	var out []attack.AlibiLink
+	covers := func(n int) bool { return a.Peer == 0 || a.Peer == n }
+	for _, other := range s.Attacks {
+		switch other.Kind {
+		case "linkspoof":
+			if covers(other.Node) && spoofMode(other.Mode) != attack.SpoofOmit {
+				out = append(out, attack.AlibiLink{
+					Suspect:  addr.NodeAt(other.Node),
+					Endpoint: s.spoofTarget(other),
+				})
+			}
+		case "colluding":
+			// Members claim each other in ring order.
+			if covers(other.Node) {
+				out = append(out, attack.AlibiLink{
+					Suspect:  addr.NodeAt(other.Node),
+					Endpoint: addr.NodeAt(other.Peer),
+				})
+			}
+			if covers(other.Peer) {
+				out = append(out, attack.AlibiLink{
+					Suspect:  addr.NodeAt(other.Peer),
+					Endpoint: addr.NodeAt(other.Node),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// protectedBy resolves the suspects a logforge node lies for: its named
+// peer, or every attack node of the mix except itself.
+func (s Spec) protectedBy(a AttackSpec) addr.Set {
+	protect := make(addr.Set)
+	if a.Peer != 0 {
+		protect.Add(addr.NodeAt(a.Peer))
+		return protect
+	}
+	for _, other := range s.Attacks {
+		if other.Node != a.Node {
+			protect.Add(addr.NodeAt(other.Node))
+		}
+		switch other.Kind {
+		case "colluding", "wormhole":
+			if other.Peer != a.Node {
+				protect.Add(addr.NodeAt(other.Peer))
+			}
+		}
+	}
+	return protect
 }
 
 // spoofTarget resolves a linkspoof/colluding target address.

@@ -196,6 +196,36 @@ func init() {
 			{Kind: "storm", Node: 2, Peer: 4, Target: 3, At: Dur(40 * time.Second), For: Dur(30 * time.Second)},
 		},
 	})
+	Register(Spec{
+		Name: "logforger",
+		Description: "claim-spoofer alibied by a log-forging responder: node 2 lies for " +
+			"node 16 and rewrites its sealed audit log to back the lie — the tree-head " +
+			"gossip and reply proofs of the evidence plane catch the rewrite (DESIGN.md §8)",
+		Seed:     1,
+		Nodes:    16,
+		Duration: Dur(210 * time.Second),
+		Evidence: &EvidenceSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 16, Mode: "phantom", At: Dur(45 * time.Second), Pin: true, DropCtrl: true},
+			{Kind: "logforge", Node: 2, At: Dur(45 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name: "logforger-colluding",
+		Description: "colluding claim-spoofers shielded by two coordinated log forgers " +
+			"(nodes 2 and 5) — the evidence plane catches both forgers within a gossip " +
+			"period; the pair's mutual first-hand confirmation still defeats conviction, " +
+			"the same E3 limit the plain colluding preset pins",
+		Seed:     1,
+		Nodes:    16,
+		Duration: Dur(210 * time.Second),
+		Evidence: &EvidenceSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "colluding", Node: 16, Peer: 15, Mode: "claim", At: Dur(45 * time.Second), Pin: true},
+			{Kind: "logforge", Node: 2, At: Dur(45 * time.Second)},
+			{Kind: "logforge", Node: 5, At: Dur(45 * time.Second)},
+		},
+	})
 	Register(x5Baselines())
 	registerScalePresets()
 	Register(Spec{

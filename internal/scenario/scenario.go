@@ -117,13 +117,14 @@ type MobilitySpec struct {
 // kinds Peer) are 1-based node indices.
 type AttackSpec struct {
 	// Kind is one of "linkspoof", "blackhole", "grayhole", "wormhole",
-	// "colluding" or "storm".
+	// "colluding", "storm" or "logforge".
 	Kind string `json:"kind"`
 	// Node is the attacking node (the first mouth/member for wormhole
 	// and colluding).
 	Node int `json:"node"`
-	// Peer is the second wormhole mouth, the second colluding member, or
-	// the originator a storm masquerades as.
+	// Peer is the second wormhole mouth, the second colluding member, the
+	// originator a storm masquerades as, or the single suspect a
+	// logforge node covers for (0 = every attacker in the mix).
 	Peer int `json:"peer,omitempty"`
 	// Mode selects the link-spoofing variant: "phantom" (default),
 	// "claim" or "omit". Colluding groups default to "claim".
@@ -149,6 +150,21 @@ type AttackSpec struct {
 	// DropCtrl makes the attacker silently discard control-plane
 	// messages it should relay (investigation traffic).
 	DropCtrl bool `json:"dropCtrl,omitempty"`
+}
+
+// EvidenceSpec enables the tamper-evident evidence plane (DESIGN.md §8):
+// sealed audit logs gossip their Merkle tree heads, investigation
+// replies carry record citations with inclusion proofs, and the victim's
+// detector verifies the proofs before counting testimony. Off by
+// default — the plane adds gossip traffic and scheduler events, so
+// enabling it changes a scenario's digest.
+type EvidenceSpec struct {
+	Enabled bool `json:"enabled"`
+	// GossipInterval is the tree-head flood period (default 5s).
+	GossipInterval Duration `json:"gossipInterval,omitempty"`
+	// ProvenWeight is the Eq. 8 trust multiplier for proof-backed
+	// testimony (default 2).
+	ProvenWeight float64 `json:"provenWeight,omitempty"`
 }
 
 // RoundsSpec parameterizes a rounds-kind scenario (the §V round-based
@@ -198,6 +214,8 @@ type Spec struct {
 	Liars int `json:"liars,omitempty"`
 	// Trust overrides the trust constants of every detector.
 	Trust *trust.Params `json:"trust,omitempty"`
+	// Evidence enables the tamper-evident evidence plane.
+	Evidence *EvidenceSpec `json:"evidence,omitempty"`
 	// Attacks is the adversary mix.
 	Attacks []AttackSpec `json:"attacks,omitempty"`
 	// Rounds parameterizes rounds-kind scenarios.
@@ -308,7 +326,7 @@ func (s Spec) Validate() error {
 		// silently ignored rather than combined.
 		var roleNodes []int
 		switch a.Kind {
-		case "linkspoof", "blackhole", "grayhole":
+		case "linkspoof", "blackhole", "grayhole", "logforge":
 			roleNodes = []int{a.Node}
 		case "colluding":
 			roleNodes = []int{a.Node, a.Peer}
@@ -352,6 +370,16 @@ func (s Spec) validateAttack(a AttackSpec) error {
 	case "storm":
 		if !inPop(a.Peer) {
 			return fmt.Errorf("storm: masqueraded peer %d outside population %d", a.Peer, s.Nodes)
+		}
+	case "logforge":
+		if s.Evidence == nil || !s.Evidence.Enabled {
+			return fmt.Errorf("logforge: node %d forges evidence but the spec enables no evidence plane", a.Node)
+		}
+		if a.Peer != 0 && !inPop(a.Peer) {
+			return fmt.Errorf("logforge: protected peer %d outside population %d", a.Peer, s.Nodes)
+		}
+		if a.Peer == a.Node {
+			return fmt.Errorf("logforge: node %d cannot alibi itself (suspects are never interrogated)", a.Node)
 		}
 	default:
 		return fmt.Errorf("unknown attack kind %q", a.Kind)

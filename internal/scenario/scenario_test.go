@@ -117,6 +117,18 @@ func TestValidate(t *testing.T) {
 			{Kind: "colluding", Node: 2, Peer: 3},
 			{Kind: "blackhole", Node: 3},
 		}},
+		// logforge needs the evidence plane, a protected peer inside the
+		// population, no self-alibi, and one role per node.
+		{Name: "lf-noev", Attacks: []AttackSpec{{Kind: "logforge", Node: 2}}},
+		{Name: "lf-peer", Evidence: &EvidenceSpec{Enabled: true},
+			Attacks: []AttackSpec{{Kind: "logforge", Node: 2, Peer: 99}}},
+		{Name: "lf-self", Evidence: &EvidenceSpec{Enabled: true},
+			Attacks: []AttackSpec{{Kind: "logforge", Node: 2, Peer: 2}}},
+		{Name: "lf-dup", Evidence: &EvidenceSpec{Enabled: true},
+			Attacks: []AttackSpec{
+				{Kind: "logforge", Node: 2},
+				{Kind: "blackhole", Node: 2},
+			}},
 	}
 	for _, s := range bad {
 		if err := s.Validate(); err == nil {

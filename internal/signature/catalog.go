@@ -16,6 +16,14 @@ const (
 	RuleDroppedRelay = "relay-drop"        // drop attack: TC never echoed
 	RuleFlappingLink = "neighbor-flapping" // instability / identity games
 	RuleOmission     = "omitted-neighbor"  // Expression 3: live link dropped from HELLOs
+
+	// RuleEvidenceForged is raised by the evidence plane rather than a log
+	// signature: a node's sealed-log proofs failed verification — its tree
+	// head diverged from gossiped history or a cited record's inclusion
+	// proof was invalid (DESIGN.md §8). Forged evidence is first-hand,
+	// cryptographic proof of tampering, so the detector treats it as an
+	// immediate conviction rather than an investigation trigger.
+	RuleEvidenceForged = "evidence-forged"
 )
 
 // CatalogConfig tunes the built-in signatures.

@@ -280,27 +280,46 @@ type Observation struct {
 	Source   addr.Node
 	Trust    float64
 	Evidence float64
+	// Weight scales this observation's share of Eq. 8 beyond its trust:
+	// the evidence plane (DESIGN.md §8) boosts testimony whose cited log
+	// records carried verified inclusion proofs against a gossiped tree
+	// head. Zero means 1 — plain, unproven testimony — so callers unaware
+	// of proofs are unaffected.
+	Weight float64
+}
+
+// EffTrust is the observation's effective trust share: Trust scaled by
+// the proof weight (zero Weight means unscaled). It is THE definition
+// of how Weight folds into the aggregation — Detect (Eq. 8) and the
+// confidence-interval sampling in detect.finalize (Eq. 9) must use the
+// same rule or the detection value and its interval silently diverge.
+func (o Observation) EffTrust() float64 {
+	if o.Weight > 0 {
+		return o.Trust * o.Weight
+	}
+	return o.Trust
 }
 
 // Detect implements Eq. 8: the trust-weighted aggregation of second-hand
 // evidence,
 //
-//	Detect(A,I) = Σ_i w_i · T(A,S_i) · e_i,  w_i = 1/Σ_j T(A,S_j).
+//	Detect(A,I) = Σ_i w_i · T(A,S_i) · e_i,  w_i = 1/Σ_j T(A,S_j)
 //
+// with T scaled by each observation's proof weight (Observation.Weight).
 // The result lies in [−1, 1]; values near −1 indicate a link spoofing
 // attack carried by I. The boolean is false when no responder carries any
 // trust (ΣT ≤ 0).
 func Detect(obs []Observation) (float64, bool) {
 	var sumT float64
 	for _, o := range obs {
-		sumT += o.Trust
+		sumT += o.EffTrust()
 	}
 	if sumT <= 0 {
 		return 0, false
 	}
 	var v float64
 	for _, o := range obs {
-		v += o.Trust * o.Evidence / sumT
+		v += o.EffTrust() * o.Evidence / sumT
 	}
 	return v, true
 }
