@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update fuzz clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update fuzz lint clean
 
 check: fmt vet build test
 
@@ -56,6 +56,18 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParseLine$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzVerifyInclusion$$' -fuzztime=30s ./internal/auditlog
+
+# Static analysis beyond go vet: staticcheck (correctness + style) and
+# govulncheck (known-vulnerability reachability). Both resolve through
+# `go run`, so no separately installed binary is needed — just network
+# access to the module proxy on first use. CI runs the same pair in the
+# lint job.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 clean:
 	$(GO) clean ./...

@@ -348,6 +348,38 @@ func BenchmarkScenarioLinkspoof(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioReputation prices the reputation plane (DESIGN.md
+// §9): the same 16-node spoofing scenario with the plane off and on
+// (vector gossip + deviation testing + Eq. 6/7 bootstrapping on every
+// node). The delta is what recommendation exchange costs end to end.
+func BenchmarkScenarioReputation(b *testing.B) {
+	base := scenario.Spec{
+		Name:      "bench-reputation",
+		Seed:      1,
+		Nodes:     16,
+		Duration:  scenario.Dur(2 * time.Minute),
+		DetectAll: true,
+		Attacks: []scenario.AttackSpec{{
+			Kind: "linkspoof", Node: 16, Mode: "phantom",
+			At: scenario.Dur(45 * time.Second), Pin: true, DropCtrl: true,
+		}},
+	}
+	for _, arm := range []string{"off", "on"} {
+		spec := base
+		if arm == "on" {
+			spec.Reputation = &scenario.ReputationSpec{Enabled: true}
+		}
+		b.Run(arm, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScenarioMatrix regenerates the whole golden corpus on the
 // parallel engine — what CI's golden job pays per PR.
 func BenchmarkScenarioMatrix(b *testing.B) {

@@ -8,6 +8,7 @@
 //	idsbench -sweep scenarios   # X6: the scenario preset matrix + digests
 //	idsbench -sweep scale       # X7: large-N presets, grid vs scan medium
 //	idsbench -sweep forgers     # X8: detection vs log-forger fraction
+//	idsbench -sweep recommenders # X9: recommender attacks vs the deviation test
 //
 // Sweeps run on the parallel experiment engine (DESIGN.md §6): -workers
 // sets the pool size (default GOMAXPROCS) and -seed the root seed every
@@ -34,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale or forgers")
+		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale, forgers or recommenders")
 		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
 		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -164,6 +165,29 @@ func run() error {
 				p.LiarArmDetected, p.Trials, p.LiarArmMeanDelay.Round(100*time.Millisecond))
 		}
 		fmt.Println("(caught = forging responders convicted via tree-head gossip / reply proofs)")
+
+	case "recommenders":
+		// X9: k dishonest recommenders against the reputation plane, with
+		// the deviation test on vs off. The framing family badmouths every
+		// honest node; the shielding family ballot-stuffs for a phantom
+		// spoofer while lying in its investigations.
+		pts := eng.RecommenderSweep(*runs, []int{0, 1, 2, 3})
+		fmt.Println("X9: recommender attacks vs the deviation test (16 nodes, mobile, victim-only detector)")
+		fmt.Printf("%12s | %-40s | %-30s | %-25s\n", "",
+			"framing rate (badmouthers)", "shielding rate (stuffers)", "spoofer conviction")
+		fmt.Printf("%12s | %8s %10s %8s %9s | %8s %10s | %11s %11s\n",
+			"recommenders", "filter", "no-filter", "flagged", "rejected", "filter", "no-filter", "filter", "no-filter")
+		for _, p := range pts {
+			fmt.Printf("%12d | %7.0f%% %9.0f%% %8d %9d | %7.0f%% %9.0f%% | %4d/%-2d %s %2d/%-2d %s\n",
+				p.Recommenders,
+				100*p.FilterFramedFrac, 100*p.NoFilterFramedFrac, p.FilterFlagged, p.FilterRejected,
+				100*p.FilterShieldedFrac, 100*p.NoFilterShieldedFrac,
+				p.FilterSpooferDetected, p.Trials, p.FilterMeanDelay.Round(100*time.Millisecond),
+				p.NoFilterSpooferDetected, p.Trials, p.NoFilterMeanDelay.Round(100*time.Millisecond))
+		}
+		fmt.Println("(framing rate = honest nodes whose gossip-bootstrapped trust at the victim fell below half")
+		fmt.Println(" the cold default; shielding rate = attackers bootstrapped above double it; flagged/rejected")
+		fmt.Println(" = recommenders the victim reported dishonest / entries its deviation test discarded)")
 
 	default:
 		return fmt.Errorf("unknown -sweep %q", *sweep)

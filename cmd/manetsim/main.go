@@ -216,6 +216,12 @@ func scenarioReport(res *scenario.Result) {
 	fmt.Printf("  control frames:   %d\n", res.Ctrl.Sent)
 	fmt.Printf("  log records:      %d\n", res.LogRecords)
 	fmt.Printf("  investigations:   %d rounds\n", res.Investigations)
+	if rep := res.Reputation; rep != nil {
+		fmt.Printf("  reputation:       %d vectors, %d/%d entries accepted, %d recommenders flagged\n",
+			rep.Vectors, rep.Accepted, rep.Accepted+rep.Rejected, rep.Flagged)
+		fmt.Printf("  gossip standing:  %d/%d honest framed, %d/%d attackers shielded\n",
+			rep.FramedHonest, rep.HonestCount, rep.ShieldedSuspects, rep.SuspectCount)
+	}
 	for _, a := range res.Alerts {
 		fmt.Printf("  alert %-18s %d\n", a.Rule+":", a.Count)
 	}

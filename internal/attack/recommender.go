@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/reputation"
+)
+
+// RecommenderStrategy selects the direction of a dishonest recommender's
+// lies (DESIGN.md §9).
+type RecommenderStrategy int
+
+// Dishonest recommendation strategies.
+const (
+	// Badmouth reports minimal trust about honest targets, framing them
+	// so their truthful testimony is discounted in Eq. 8 (and, through
+	// applyVerdict's agreement updates, trying to cascade the victim's
+	// direct trust downward).
+	Badmouth RecommenderStrategy = iota + 1
+	// BallotStuff reports maximal trust about colluding targets,
+	// shielding them: a lying responder whose bootstrapped trust is
+	// inflated weighs more than the honest majority.
+	BallotStuff
+)
+
+// String implements fmt.Stringer.
+func (s RecommenderStrategy) String() string {
+	switch s {
+	case Badmouth:
+		return "badmouth"
+	case BallotStuff:
+		return "ballot-stuff"
+	default:
+		return "unknown"
+	}
+}
+
+// Recommender is the reputation-plane adversary: instead of gossiping its
+// real trust vector it emits a forged one about its targets. The on-off
+// variant alternates forged and plausible vectors to stay under the
+// deviation test's flagging threshold — the classic on-off attack of the
+// reputation literature.
+type Recommender struct {
+	// Strategy selects badmouthing or ballot stuffing.
+	Strategy RecommenderStrategy
+	// Targets are the subjects of the forged entries: framed honest
+	// nodes (Badmouth) or shielded accomplices (BallotStuff). Must be
+	// sorted; the scenario builder sorts them.
+	Targets []addr.Node
+	// Camouflage is the trust reported during the on-off attack's honest
+	// phases — a plausible value that passes the deviation test and
+	// rebuilds recommendation trust between bursts (default 0.4, the
+	// population's cold default).
+	Camouflage float64
+	// OnOff, when > 0, alternates phases of that length: dishonest
+	// during the first half-cycle, camouflaged during the second. Zero
+	// means always dishonest.
+	OnOff time.Duration
+	// Active gates the attack; nil means always active. While gated off
+	// Vector returns nil and the node falls back to its honest ledger if
+	// it has one (core.gossipRecommend) — a sleeper recommender on a
+	// detector node builds genuine recommendation standing before the
+	// attack starts — and gossips nothing otherwise.
+	Active func() bool
+
+	forged, camouflaged uint64
+}
+
+// Forged returns how many dishonest vectors were emitted.
+func (r *Recommender) Forged() uint64 { return r.forged }
+
+// Camouflaged returns how many honest-looking on-off vectors were emitted.
+func (r *Recommender) Camouflaged() uint64 { return r.camouflaged }
+
+// lieValue resolves the dishonest report for the strategy: minimal trust
+// to frame, maximal to shield.
+func (r *Recommender) lieValue() float64 {
+	if r.Strategy == BallotStuff {
+		return 1
+	}
+	return 0
+}
+
+// camouflageValue resolves the honest-phase report.
+func (r *Recommender) camouflageValue() float64 {
+	if r.Camouflage > 0 {
+		return r.Camouflage
+	}
+	return 0.4
+}
+
+// Vector produces the forged trust vector to gossip at virtual time now,
+// or nil while the attack is gated off (or has no targets — a targetless
+// recommender neither emits nor counts phantom forgeries).
+func (r *Recommender) Vector(now time.Duration) []reputation.Entry {
+	if len(r.Targets) == 0 || (r.Active != nil && !r.Active()) {
+		return nil
+	}
+	value := r.lieValue()
+	if r.OnOff > 0 && (now/r.OnOff)%2 == 1 {
+		value = r.camouflageValue()
+		r.camouflaged++
+	} else {
+		r.forged++
+	}
+	out := make([]reputation.Entry, 0, len(r.Targets))
+	for _, t := range r.Targets {
+		out = append(out, reputation.Entry{About: t, Trust: value})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+func TestRecommenderStrategies(t *testing.T) {
+	targets := []addr.Node{addr.NodeAt(3), addr.NodeAt(7)}
+	bm := &Recommender{Strategy: Badmouth, Targets: targets}
+	for _, e := range bm.Vector(0) {
+		if e.Trust != 0 {
+			t.Fatalf("badmouther reported %v, want 0", e.Trust)
+		}
+	}
+	bs := &Recommender{Strategy: BallotStuff, Targets: targets}
+	v := bs.Vector(0)
+	if len(v) != 2 || v[0].About != addr.NodeAt(3) || v[1].About != addr.NodeAt(7) {
+		t.Fatalf("vector = %+v", v)
+	}
+	for _, e := range v {
+		if e.Trust != 1 {
+			t.Fatalf("ballot stuffer reported %v, want 1", e.Trust)
+		}
+	}
+	if bm.Forged() != 1 || bs.Forged() != 1 {
+		t.Fatalf("forged counters: %d, %d", bm.Forged(), bs.Forged())
+	}
+}
+
+func TestRecommenderOnOffPhases(t *testing.T) {
+	r := &Recommender{
+		Strategy: Badmouth,
+		Targets:  []addr.Node{addr.NodeAt(3)},
+		OnOff:    10 * time.Second,
+	}
+	// [0,10s): dishonest; [10s,20s): camouflaged; [20s,30s): dishonest.
+	if v := r.Vector(5 * time.Second); v[0].Trust != 0 {
+		t.Fatalf("on phase reported %v", v[0].Trust)
+	}
+	if v := r.Vector(15 * time.Second); v[0].Trust != 0.4 {
+		t.Fatalf("off phase reported %v, want camouflage 0.4", v[0].Trust)
+	}
+	if v := r.Vector(25 * time.Second); v[0].Trust != 0 {
+		t.Fatalf("second on phase reported %v", v[0].Trust)
+	}
+	if r.Forged() != 2 || r.Camouflaged() != 1 {
+		t.Fatalf("counters: forged=%d camouflaged=%d", r.Forged(), r.Camouflaged())
+	}
+}
+
+func TestRecommenderGating(t *testing.T) {
+	active := false
+	r := &Recommender{
+		Strategy: BallotStuff,
+		Targets:  []addr.Node{addr.NodeAt(3)},
+		Active:   func() bool { return active },
+	}
+	if v := r.Vector(0); v != nil {
+		t.Fatalf("inactive recommender produced %+v", v)
+	}
+	active = true
+	if v := r.Vector(0); len(v) != 1 {
+		t.Fatalf("active recommender produced %+v", v)
+	}
+}
+
+func TestRecommenderStrategyString(t *testing.T) {
+	if Badmouth.String() != "badmouth" || BallotStuff.String() != "ballot-stuff" {
+		t.Fatal("strategy names drifted")
+	}
+	if RecommenderStrategy(0).String() != "unknown" {
+		t.Fatal("zero strategy must render unknown")
+	}
+}
+
+func TestRecommenderWithoutTargetsIsSilent(t *testing.T) {
+	r := &Recommender{Strategy: Badmouth}
+	if v := r.Vector(0); v != nil {
+		t.Fatalf("targetless recommender produced %+v", v)
+	}
+	if r.Forged() != 0 || r.Camouflaged() != 0 {
+		t.Fatalf("phantom counters: forged=%d camouflaged=%d", r.Forged(), r.Camouflaged())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/olsr"
 	"repro/internal/radio"
+	"repro/internal/reputation"
 	"repro/internal/sim"
 	"repro/internal/trust"
 )
@@ -31,6 +32,10 @@ import (
 const (
 	PayloadOLSR byte = 1
 	PayloadCtrl byte = 2
+	// PayloadRecommend frames the reputation plane's trust-vector gossip:
+	// a wire.Packet whose messages carry wire.Recommend bodies, flooded
+	// network-wide with per-origin sequence dedup (reputation.go).
+	PayloadRecommend byte = 3
 )
 
 // EvidenceConfig parameterizes the tamper-evident evidence plane
@@ -48,6 +53,30 @@ type EvidenceConfig struct {
 	ProvenWeight float64
 }
 
+// ReputationConfig parameterizes the opt-in reputation plane
+// (DESIGN.md §9). Disabled, the network behaves exactly as before: no
+// ledgers are built, no vectors are gossiped, and detectors weigh
+// strangers from the cold default.
+type ReputationConfig struct {
+	Enabled bool
+	// GossipInterval is how often each node floods its trust vector
+	// (default 10s).
+	GossipInterval time.Duration
+	// Deviation is the acceptance threshold of the deviation test
+	// (default 0.25; see reputation.Config).
+	Deviation float64
+	// MaxEntries caps subjects per gossiped vector (default 32).
+	MaxEntries int
+	// Freshness bounds the age of recommendations used for trust
+	// bootstrapping (default 60s).
+	Freshness time.Duration
+	// NoFilter disables the deviation test — the X9 ablation arm.
+	NoFilter bool
+	// DishonestAfter is the majority-failed-vector count that flags a
+	// recommender (default 3).
+	DishonestAfter int
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	Seed int64
@@ -59,6 +88,9 @@ type Config struct {
 	CtrlTTL int
 	// Evidence enables tree-head gossip and proof-carrying replies.
 	Evidence EvidenceConfig
+	// Reputation enables recommendation gossip and Eq. 6/7 trust
+	// propagation.
+	Reputation ReputationConfig
 }
 
 // Network is a complete simulated MANET.
@@ -77,6 +109,18 @@ type Network struct {
 func NewNetwork(cfg Config) *Network {
 	if cfg.CtrlTTL <= 0 {
 		cfg.CtrlTTL = 16
+	}
+	// Resolve the reputation plane's defaults once, here, so every
+	// consumer — the gossip scheduler, the message VTime, the ledgers —
+	// sees the same effective values (reputation.Config re-defaults
+	// independently, but matching zeros would diverge at the edges).
+	if cfg.Reputation.Enabled {
+		if cfg.Reputation.GossipInterval <= 0 {
+			cfg.Reputation.GossipInterval = 10 * time.Second
+		}
+		if cfg.Reputation.Freshness <= 0 {
+			cfg.Reputation.Freshness = 60 * time.Second
+		}
 	}
 	sched := sim.New(cfg.Seed)
 	return &Network{
@@ -112,6 +156,10 @@ type NodeSpec struct {
 	// Liar and rewrites its own audit log to alibi the protected
 	// suspects. Takes precedence over Liar.
 	Forger *attack.LogForger
+	// Recommender, when set, makes the node gossip forged trust vectors
+	// instead of its honest ledger (badmouthing / ballot stuffing; only
+	// meaningful with Config.Reputation.Enabled).
+	Recommender *attack.Recommender
 	// TrustParams overrides the trust constants for this node's detector.
 	TrustParams *trust.Params
 	// AutoExclude enables the response action: a node this detector
@@ -143,6 +191,15 @@ type Node struct {
 	heads         map[addr.Node]auditlog.TreeHead
 	gossipTainted addr.Set
 	prevGossip    uint64
+
+	// Reputation-plane state (nil / unused unless
+	// Config.Reputation.Enabled): the ledger (detector nodes only), the
+	// forged-vector hook, the newest gossip sequence seen per origin,
+	// and this node's own emission sequence.
+	Rep         *reputation.Ledger
+	Recommender *attack.Recommender
+	recSeen     map[addr.Node]uint16
+	recSeq      uint16
 }
 
 // AddNode instantiates and wires a node; call before Start.
@@ -198,6 +255,10 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 		n.heads = make(map[addr.Node]auditlog.TreeHead)
 		n.gossipTainted = make(addr.Set)
 	}
+	if w.cfg.Reputation.Enabled {
+		n.recSeen = make(map[addr.Node]uint16)
+		n.Recommender = spec.Recommender
+	}
 
 	if spec.Detector != nil {
 		params := trust.DefaultParams()
@@ -207,6 +268,16 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 		n.Trust = trust.NewStore(params)
 		dcfg := *spec.Detector
 		dcfg.Self = id
+		if w.cfg.Reputation.Enabled {
+			n.Rep = reputation.NewLedger(id, n.Trust, reputation.Config{
+				Deviation:      w.cfg.Reputation.Deviation,
+				MaxEntries:     w.cfg.Reputation.MaxEntries,
+				Freshness:      w.cfg.Reputation.Freshness,
+				NoFilter:       w.cfg.Reputation.NoFilter,
+				DishonestAfter: w.cfg.Reputation.DishonestAfter,
+			})
+			dcfg.Bootstrap = &ledgerBootstrap{node: n}
+		}
 		if spec.AutoExclude {
 			userReport := dcfg.OnReport
 			dcfg.OnReport = func(r detect.Report) {
@@ -226,6 +297,9 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 			dcfg.ProvenWeight = w.cfg.Evidence.ProvenWeight
 		}
 		n.Detector = detect.NewDetector(dcfg, w.Sched, router, logs, &nodeTransport{node: n}, n.Trust)
+		if n.Rep != nil {
+			n.Rep.OnDishonest = n.Detector.ReportDishonestRecommender
+		}
 	}
 
 	w.Medium.Attach(id,
@@ -262,13 +336,14 @@ func (w *Network) AllIDs() addr.Set {
 	return s
 }
 
-// Start launches every router and detector, and — with the evidence
-// plane enabled — every node's tree-head gossip.
+// Start launches every router and detector, and — with the evidence or
+// reputation plane enabled — the corresponding per-node gossip.
 func (w *Network) Start() {
 	interval := w.cfg.Evidence.GossipInterval
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
+	recInterval := w.cfg.Reputation.GossipInterval // defaulted in NewNetwork
 	for _, id := range w.order {
 		n := w.nodes[id]
 		n.Router.Start()
@@ -277,6 +352,9 @@ func (w *Network) Start() {
 		}
 		if w.cfg.Evidence.Enabled {
 			w.Sched.Every(interval, interval, 0.1, n.gossipHead)
+		}
+		if w.cfg.Reputation.Enabled && (n.Rep != nil || n.Recommender != nil) {
+			w.Sched.Every(recInterval, recInterval, 0.1, n.gossipRecommend)
 		}
 	}
 }
@@ -303,6 +381,8 @@ func (n *Node) handleFrame(f radio.Frame) {
 		n.Router.HandlePacket(f.From, body)
 	case PayloadCtrl:
 		n.handleCtrl(body)
+	case PayloadRecommend:
+		n.handleRecommend(body)
 	}
 }
 

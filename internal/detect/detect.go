@@ -235,6 +235,20 @@ type Config struct {
 	// ProvenWeight is the Eq. 8 trust multiplier for proof-backed
 	// testimony (default 2).
 	ProvenWeight float64
+	// Bootstrap, when set, supplies propagated trust for strangers (the
+	// reputation plane, DESIGN.md §9): when an observation's source has
+	// no explicit direct-trust value, the detector seeds one from the
+	// bootstrapper (Eq. 6/7 over gossiped recommendations) instead of
+	// weighing the testimony from the cold default.
+	Bootstrap TrustBootstrapper
+}
+
+// TrustBootstrapper supplies second-hand effective trust in a node the
+// detector has no direct history with. The reputation ledger
+// (internal/reputation) implements it over gossiped trust vectors; the
+// boolean is false when no usable recommendation exists.
+type TrustBootstrapper interface {
+	BootstrapTrust(n addr.Node) (float64, bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -495,6 +509,49 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 	inv.deadline = d.sched.After(d.cfg.AnswerTimeout, func() { d.finalize(inv) })
 }
 
+// trustOf resolves the trust weight an observation from n carries in
+// Eq. 8. First-hand history always wins; for a stranger (or a node
+// known only through an earlier seed) the reputation bootstrapper is
+// consulted (Eq. 6/7 over current gossip) and a successful bootstrap is
+// seeded into the store via SetSeeded, so subsequent direct evidence
+// (applyVerdict's Eq. 5 updates) evolves the propagated prior instead
+// of snapping back to the cold default. The seed is re-derived while no
+// first-hand evidence exists — recommendation-trust shifts (a framer's
+// R collapsing) keep correcting the opinion — and it never feeds back
+// into the node's own gossip or deviation baseline (trust.SetSeeded).
+// Without a bootstrapper this is exactly the old store.Get.
+func (d *Detector) trustOf(n addr.Node) float64 {
+	if d.cfg.Bootstrap == nil || d.store.FirstHand(n) {
+		return d.store.Get(n)
+	}
+	if v, ok := d.cfg.Bootstrap.BootstrapTrust(n); ok {
+		d.store.SetSeeded(n, v)
+		return d.store.Get(n) // the clamped, stored value
+	}
+	return d.store.Get(n)
+}
+
+// ReportDishonestRecommender records a reputation-plane flag about node:
+// its gossiped trust vectors repeatedly failed the local deviation test.
+// This is statistical evidence, not proof — an honest node whose trust
+// landscape genuinely diverges (it met different liars, converged at a
+// different rate) can trip it — so the hit is GravityLow and never a
+// conviction (contrast ReportForgedEvidence, which is cryptographic and
+// final). The recommendation-trust ledger, not this penalty, is what
+// actually defangs a dishonest recommender.
+func (d *Detector) ReportDishonestRecommender(node addr.Node, detail string) {
+	if node == d.cfg.Self {
+		return
+	}
+	d.store.Update(node, []trust.Evidence{{Value: -1, Gravity: trust.GravityLow}})
+	d.alerts = append(d.alerts, signature.Alert{
+		Rule:    signature.RuleDishonestRecommender,
+		Subject: node,
+		At:      d.sched.Now(),
+		Detail:  detail,
+	})
+}
+
 // roundOf returns the highest finalized round about suspect. It reads
 // the per-suspect index maintained by finalize — scanning d.reports here
 // made every new investigation O(total reports ever filed), which turned
@@ -733,7 +790,7 @@ func (d *Detector) finalize(inv *investigation) {
 		}
 		obs = append(obs, trust.Observation{
 			Source:   rep.Responder,
-			Trust:    d.store.Get(rep.Responder),
+			Trust:    d.trustOf(rep.Responder),
 			Evidence: e,
 			Weight:   inv.weights[ri],
 		})
@@ -745,7 +802,7 @@ func (d *Detector) finalize(inv *investigation) {
 	for _, req := range inv.pending {
 		obs = append(obs, trust.Observation{
 			Source:   req.Responder,
-			Trust:    d.store.Get(req.Responder),
+			Trust:    d.trustOf(req.Responder),
 			Evidence: 0,
 		})
 		if d.timeouts[inv.suspect] == nil {

@@ -80,7 +80,7 @@ func (c FullStackConfig) Spec() scenario.Spec {
 			Model:    "waypoint",
 			MinSpeed: c.Speed / 2,
 			MaxSpeed: c.Speed,
-			Pause:    scenario.Dur(5 * time.Second),
+			Pause:    scenario.DurPtr(5 * time.Second),
 		}
 	}
 	return scenario.Spec{

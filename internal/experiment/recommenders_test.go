@@ -1,0 +1,71 @@
+package experiment
+
+import "testing"
+
+func TestRecommenderSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level sweep is slow")
+	}
+	// One recommender count, one trial, all four (family, arm) cells: the
+	// reduction must keep the grid shape, and the parallel run must match
+	// the serial one bit for bit (the engine determinism contract).
+	parallel := NewRunner(1, 4).RecommenderSweep(1, []int{2})
+	serial := NewRunner(1, 1).RecommenderSweep(1, []int{2})
+	if len(parallel) != 1 {
+		t.Fatalf("points = %d, want 1", len(parallel))
+	}
+	p := parallel[0]
+	if p.Recommenders != 2 || p.Trials != 1 {
+		t.Fatalf("point shape: %+v", p)
+	}
+	if p.FilterSpooferDetected > p.Trials || p.NoFilterSpooferDetected > p.Trials {
+		t.Errorf("detections exceed trials: %+v", p)
+	}
+	for _, frac := range []float64{
+		p.FilterFramedFrac, p.NoFilterFramedFrac,
+		p.FilterShieldedFrac, p.NoFilterShieldedFrac,
+	} {
+		if frac < 0 || frac > 1 {
+			t.Errorf("fraction outside [0,1]: %+v", p)
+		}
+	}
+	if parallel[0] != serial[0] {
+		t.Errorf("worker counts disagree:\n  parallel %+v\n  serial   %+v", parallel[0], serial[0])
+	}
+}
+
+func TestRecommenderSpecArms(t *testing.T) {
+	frame := recommenderSpec(7, 2, "frame", true)
+	if err := frame.Validate(); err != nil {
+		t.Fatalf("frame arm invalid: %v", err)
+	}
+	if frame.Reputation == nil || !frame.Reputation.Enabled || frame.Reputation.NoFilter {
+		t.Fatalf("frame/filter arm misconfigured: %+v", frame.Reputation)
+	}
+	badmouthers := 0
+	for _, a := range frame.Attacks {
+		if a.Kind == "badmouth" {
+			badmouthers++
+		}
+	}
+	if badmouthers != 2 || frame.Liars != 0 {
+		t.Fatalf("frame arm attack mix wrong: %+v", frame.Attacks)
+	}
+
+	shield := recommenderSpec(7, 3, "shield", false)
+	if err := shield.Validate(); err != nil {
+		t.Fatalf("shield arm invalid: %v", err)
+	}
+	if !shield.Reputation.NoFilter {
+		t.Fatal("no-filter arm has the filter on")
+	}
+	stuffers := 0
+	for _, a := range shield.Attacks {
+		if a.Kind == "ballotstuff" {
+			stuffers++
+		}
+	}
+	if stuffers != 3 || shield.Liars != 3 {
+		t.Fatalf("shield arm must pair stuffers with liar roles: %+v", shield)
+	}
+}

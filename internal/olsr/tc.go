@@ -8,11 +8,9 @@ import (
 	"repro/internal/wire"
 )
 
-// seqNewer implements the RFC 3626 §19 wraparound comparison: a is newer
-// than b.
-func seqNewer(a, b uint16) bool {
-	return (a > b && a-b <= 32768) || (a < b && b-a > 32768)
-}
+// seqNewer is the RFC 3626 §19 wraparound comparison, shared through the
+// wire package (the reputation plane's gossip dedup uses the same rule).
+func seqNewer(a, b uint16) bool { return wire.SeqNewer(a, b) }
 
 // sendTC originates a Topology Control message advertising the node's MPR
 // selectors. Nodes with no selectors stay silent (RFC 3626 §9.3 allows

@@ -1,0 +1,279 @@
+// Package reputation implements the recommendation plane of the trust
+// system (DESIGN.md §9): nodes periodically gossip trust vectors — their
+// direct trust in third parties — and receivers fold those second-hand
+// opinions into an effective trust for strangers via the paper's trust
+// propagation equations (Eq. 6 concatenation, Eq. 7 multipath).
+//
+// Second-hand opinion is an attack surface (badmouthing, ballot
+// stuffing), so acceptance is guarded the way Sen's distributed trust
+// frameworks (arXiv:1012.2519, arXiv:1010.5176) guard it:
+//
+//   - a deviation test compares each received recommendation against the
+//     receiver's own direct trust in the same subject and rejects
+//     outliers beyond a threshold;
+//   - recommendation trust R(A,S) — how much A trusts S *as a
+//     recommender* — is a separate ledger from direct trust, updated by
+//     S's historical accuracy on the deviation test. A neighbor can be a
+//     perfectly good packet relay and a worthless (or hostile) gossip
+//     source; conflating the two ledgers would let either role launder
+//     the other.
+//
+// The ledger is deliberately transport-agnostic: internal/core floods
+// wire.Recommend messages and calls Ingest; internal/detect consults
+// BootstrapTrust when an investigation must weigh testimony from a node
+// it has no direct history with.
+package reputation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/trust"
+)
+
+// Config parameterizes a Ledger. The zero value takes defaults.
+type Config struct {
+	// Deviation is the acceptance threshold of the deviation test: a
+	// recommendation about a subject the receiver knows first-hand is
+	// rejected when |T_direct − T_reported| exceeds it (default 0.25).
+	Deviation float64
+	// MaxEntries caps the subjects carried per gossiped vector
+	// (default 32). Truncation is deterministic: lowest addresses first.
+	MaxEntries int
+	// Freshness bounds the age of recommendations used by BootstrapTrust
+	// (default 60s) — property 4 of §IV-A applied to second-hand opinion.
+	Freshness time.Duration
+	// NoFilter disables the deviation test and the recommendation-trust
+	// updates: every entry is accepted at face value. This is the
+	// ablation arm of the X9 sweep, not a deployment mode.
+	NoFilter bool
+	// DishonestAfter is how many majority-failed vectors from one
+	// recommender trigger the OnDishonest callback (default 3).
+	DishonestAfter int
+	// MinMass is the minimum total recommendation trust ΣR behind a
+	// bootstrap (default 0.2, half a fresh recommender's default R):
+	// below it BootstrapTrust abstains rather than hand the caller an
+	// opinion nobody creditworthy stands behind. This is what stops a
+	// deviation-collapsed recommender from still framing strangers — its
+	// reports survive in the table, but carry no usable mass.
+	MinMass float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Deviation <= 0 {
+		c.Deviation = 0.25
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 32
+	}
+	if c.Freshness <= 0 {
+		c.Freshness = 60 * time.Second
+	}
+	if c.DishonestAfter <= 0 {
+		c.DishonestAfter = 3
+	}
+	if c.MinMass <= 0 {
+		c.MinMass = 0.2
+	}
+	return c
+}
+
+// received is one accepted recommendation: the reported trust and when it
+// arrived.
+type received struct {
+	trust float64
+	at    time.Duration
+}
+
+// Stats are the ledger's cumulative counters.
+type Stats struct {
+	// Vectors is how many gossiped vectors were ingested.
+	Vectors uint64
+	// Accepted and Rejected count individual entries through the
+	// deviation test (untestable entries — unknown subjects — count as
+	// accepted; with NoFilter everything is accepted).
+	Accepted, Rejected uint64
+	// Flagged is how many recommenders were reported dishonest.
+	Flagged int
+}
+
+// Ledger is one node's reputation state: the recommendation-trust store
+// R(A,·), the table of accepted recommendations, and the deviation-test
+// bookkeeping. It shares the node's *direct* trust store read-only (the
+// deviation test needs first-hand opinion to compare against).
+type Ledger struct {
+	self   addr.Node
+	cfg    Config
+	direct *trust.Store
+	rec    *trust.Store // R(A,S): trust in S as a recommender
+
+	// table maps subject -> recommender -> the latest accepted report.
+	table map[addr.Node]map[addr.Node]received
+
+	badVectors map[addr.Node]int // majority-failed vectors per recommender
+	flagged    addr.Set
+
+	// OnDishonest, when set, observes each recommender whose gossip
+	// failed the deviation test DishonestAfter times (fired once per
+	// recommender). The detector turns it into a signature alert.
+	OnDishonest func(rec addr.Node, detail string)
+
+	stats Stats
+}
+
+// NewLedger creates a ledger for self. direct is the node's own trust
+// store (read for the deviation test, never written); the
+// recommendation-trust ledger R starts every recommender at the same
+// params' default and evolves by deviation-test accuracy.
+func NewLedger(self addr.Node, direct *trust.Store, cfg Config) *Ledger {
+	return &Ledger{
+		self:       self,
+		cfg:        cfg.withDefaults(),
+		direct:     direct,
+		rec:        trust.NewStore(direct.Params()),
+		table:      make(map[addr.Node]map[addr.Node]received),
+		badVectors: make(map[addr.Node]int),
+		flagged:    make(addr.Set),
+	}
+}
+
+// Stats returns the cumulative counters.
+func (l *Ledger) Stats() Stats { return l.stats }
+
+// RecommendationTrust returns R(self, s) — the default for strangers.
+func (l *Ledger) RecommendationTrust(s addr.Node) float64 { return l.rec.Get(s) }
+
+// FlaggedDishonest returns the recommenders reported dishonest, sorted.
+func (l *Ledger) FlaggedDishonest() []addr.Node { return l.flagged.Sorted() }
+
+// Entry is one subject of a trust vector in float form. The wire codec
+// (wire.Recommend) quantizes it to 16 bits; the ledger works on the
+// quantized grid in both directions so gossip round-trips exactly.
+type Entry struct {
+	About addr.Node
+	Trust float64
+}
+
+// BuildVector renders this node's own outgoing recommendation: its
+// first-hand direct-trust values, sorted by subject, capped at
+// MaxEntries. Nodes with no explicit value are omitted — recommending
+// the cold default would only dilute real information — and so are
+// values merely seeded from other nodes' gossip (trust.Store.FirstHand):
+// re-gossiping a seed would launder second-hand rumor as first-hand
+// testimony and let one dishonest vector echo through the network under
+// honest recommenders' standing.
+func (l *Ledger) BuildVector() []Entry {
+	nodes := l.direct.Nodes() // sorted
+	out := make([]Entry, 0, min(len(nodes), l.cfg.MaxEntries))
+	for _, n := range nodes {
+		if n == l.self || !l.direct.FirstHand(n) {
+			continue
+		}
+		if len(out) >= l.cfg.MaxEntries {
+			break
+		}
+		out = append(out, Entry{About: n, Trust: l.direct.Get(n)})
+	}
+	return out
+}
+
+// Ingest processes one received trust vector from recommender at virtual
+// time now. Entries about the receiver itself, about the recommender
+// itself (self-promotion), or from the receiver's own address are
+// ignored. Each remaining entry faces the deviation test when the
+// receiver holds a FIRST-HAND opinion about the subject — a value that
+// is itself only a gossip seed is no anchor (testing against it would
+// reject honest gossip that disagrees with the first rumor heard);
+// untestable entries are accepted on the recommender's standing alone.
+func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duration) {
+	if recommender == l.self || len(entries) == 0 {
+		return
+	}
+	l.stats.Vectors++
+	passed, failed := 0, 0
+	for _, e := range entries {
+		if e.About == l.self || e.About == recommender {
+			continue
+		}
+		if !l.cfg.NoFilter && l.direct.FirstHand(e.About) {
+			dev := l.direct.Get(e.About) - e.Trust
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > l.cfg.Deviation {
+				failed++
+				l.stats.Rejected++
+				continue // the outlier is not stored
+			}
+			passed++
+		}
+		l.stats.Accepted++
+		m := l.table[e.About]
+		if m == nil {
+			m = make(map[addr.Node]received)
+			l.table[e.About] = m
+		}
+		m[recommender] = received{trust: e.Trust, at: now}
+	}
+	if l.cfg.NoFilter || passed+failed == 0 {
+		return // nothing testable: the recommender's standing is unchanged
+	}
+	// R(A,S) moves by the vector's aggregate accuracy (Eq. 5 on the
+	// recommendation ledger): a clean vector earns slowly, a dishonest
+	// one loses fast — the same defensive asymmetry as direct trust.
+	l.rec.Update(recommender, []trust.Evidence{{
+		Value: float64(passed-failed) / float64(passed+failed),
+	}})
+	if failed > passed {
+		l.badVectors[recommender]++
+		if l.badVectors[recommender] == l.cfg.DishonestAfter && !l.flagged.Has(recommender) {
+			l.flagged.Add(recommender)
+			l.stats.Flagged++
+			if l.OnDishonest != nil {
+				l.OnDishonest(recommender, fmt.Sprintf(
+					"%d gossiped trust vectors majority-failed the deviation test", l.cfg.DishonestAfter))
+			}
+		}
+	}
+}
+
+// BootstrapTrust derives an effective trust in subject from accepted,
+// fresh recommendations — the wiring of Eq. 6 and Eq. 7. A single
+// recommendation path is concatenated (Eq. 6: R·T, conservative — an
+// un-earned recommender shrinks the reported trust toward zero); several
+// paths combine by multipath aggregation (Eq. 7: recommendation-trust-
+// weighted mean of the reported values). The boolean is false when no
+// usable recommendation exists — none stored, none fresh, or the total
+// recommendation mass ΣR below MinMass — leaving the caller on the cold
+// default.
+func (l *Ledger) BootstrapTrust(subject addr.Node, now time.Duration) (float64, bool) {
+	m := l.table[subject]
+	if len(m) == 0 {
+		return 0, false
+	}
+	recommenders := make([]addr.Node, 0, len(m))
+	for s := range m {
+		recommenders = append(recommenders, s)
+	}
+	sort.Slice(recommenders, func(i, j int) bool { return recommenders[i] < recommenders[j] })
+	recs := make([]trust.Recommendation, 0, len(recommenders))
+	var mass float64
+	for _, s := range recommenders {
+		r := m[s]
+		if now-r.at > l.cfg.Freshness {
+			continue // stale opinion (property 4)
+		}
+		rec := trust.Recommendation{R: l.rec.Get(s), T: r.trust}
+		mass += rec.R
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 || mass < l.cfg.MinMass {
+		return 0, false
+	}
+	if len(recs) == 1 {
+		return trust.Concatenated(recs[0].R, recs[0].T), true
+	}
+	return trust.Multipath(recs)
+}

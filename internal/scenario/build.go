@@ -13,6 +13,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/olsr"
 	"repro/internal/radio"
+	"repro/internal/reputation"
 	"repro/internal/trust"
 )
 
@@ -85,9 +86,22 @@ func Build(spec Spec) (*Built, error) {
 			ProvenWeight:   spec.Evidence.ProvenWeight,
 		}
 	}
+	repCfg := core.ReputationConfig{}
+	if spec.Reputation != nil && spec.Reputation.Enabled {
+		repCfg = core.ReputationConfig{
+			Enabled:        true,
+			GossipInterval: spec.Reputation.GossipInterval.D(),
+			Deviation:      spec.Reputation.Deviation,
+			MaxEntries:     spec.Reputation.MaxEntries,
+			Freshness:      spec.Reputation.Freshness.D(),
+			NoFilter:       spec.Reputation.NoFilter,
+			DishonestAfter: spec.Reputation.DishonestAfter,
+		}
+	}
 	w := core.NewNetwork(core.Config{
-		Seed:     spec.Seed,
-		Evidence: evidence,
+		Seed:       spec.Seed,
+		Evidence:   evidence,
+		Reputation: repCfg,
 		Radio: radio.Config{
 			Prop:      spec.radioProp(),
 			PropDelay: spec.Radio.PropDelay.D(),
@@ -114,12 +128,13 @@ func Build(spec Spec) (*Built, error) {
 
 	// Resolve the attack mix into per-node roles before the node loop.
 	type role struct {
-		spoofer *attack.LinkSpoofer
-		hooks   *olsr.Hooks
-		liar    *attack.Liar
-		forger  *attack.LogForger
-		pin     bool
-		dropCtl bool
+		spoofer     *attack.LinkSpoofer
+		hooks       *olsr.Hooks
+		liar        *attack.Liar
+		forger      *attack.LogForger
+		recommender *attack.Recommender
+		pin         bool
+		dropCtl     bool
 	}
 	roles := make(map[int]*role)
 	roleOf := func(i int) *role {
@@ -236,6 +251,25 @@ func Build(spec Spec) (*Built, error) {
 					{"lies", lf.Lies()},
 				}
 			})
+		case "badmouth", "ballotstuff":
+			rc := &attack.Recommender{
+				Strategy: attack.Badmouth,
+				OnOff:    a.OnOff.D(),
+			}
+			if a.Kind == "ballotstuff" {
+				rc.Strategy = attack.BallotStuff
+				rc.Targets = spec.vouchedBy(a)
+			} else {
+				rc.Targets = spec.framedBy(a)
+			}
+			rc.Active = activeAfter(a.At)
+			roleOf(a.Node).recommender = rc
+			b.addSuspect(a, a.Node, func() []Counter {
+				return []Counter{
+					{"forged", rc.Forged()},
+					{"camouflaged", rc.Camouflaged()},
+				}
+			})
 		case "storm":
 			st := &attack.Storm{
 				Spoof:      addr.NodeAt(a.Peer),
@@ -281,6 +315,7 @@ func Build(spec Spec) (*Built, error) {
 			ns.Hooks = r.hooks
 			ns.DropControl = r.dropCtl
 			ns.Forger = r.forger
+			ns.Recommender = r.recommender
 			if r.liar != nil {
 				ns.Liar = r.liar
 			}
@@ -366,14 +401,14 @@ func (s Spec) mobilityFor(i int, start geo.Point) mobility.Model {
 			Start:    start,
 			MinSpeed: minSpeed,
 			MaxSpeed: s.Mobility.MaxSpeed,
-			Pause:    s.Mobility.Pause.D(),
+			Pause:    durOf(s.Mobility.Pause, 5*time.Second),
 		})
 	case s.Mobility.Model == "walk" && s.Mobility.MaxSpeed > 0:
 		return mobility.NewRandomWalk(DeriveSeed(s.Seed, walkSeedLabel, i, 0), mobility.WalkConfig{
 			Arena: arena,
 			Start: start,
 			Speed: s.Mobility.MaxSpeed,
-			Epoch: s.Mobility.Epoch.D(),
+			Epoch: durOf(s.Mobility.Epoch, 10*time.Second),
 		})
 	}
 	return mobility.Static{P: start}
@@ -434,6 +469,46 @@ func (s Spec) protectedBy(a AttackSpec) addr.Set {
 	return protect
 }
 
+// attackNodes returns every node index carrying any attack of the mix
+// (including peers of two-party attacks).
+func (s Spec) attackNodes() map[int]bool {
+	out := make(map[int]bool)
+	for _, a := range s.Attacks {
+		out[a.Node] = true
+		switch a.Kind {
+		case "colluding", "wormhole":
+			out[a.Peer] = true
+		}
+	}
+	return out
+}
+
+// framedBy resolves the subjects a badmouth recommender lies about: its
+// named peer, or every honest (non-attacking) node of the population.
+// Sorted — the forged vector must be as deterministic as an honest one.
+func (s Spec) framedBy(a AttackSpec) []addr.Node {
+	if a.Peer != 0 {
+		return []addr.Node{addr.NodeAt(a.Peer)}
+	}
+	attackers := s.attackNodes()
+	out := make([]addr.Node, 0, s.Nodes)
+	for i := 1; i <= s.Nodes; i++ {
+		if !attackers[i] {
+			out = append(out, addr.NodeAt(i))
+		}
+	}
+	return out
+}
+
+// vouchedBy resolves the subjects a ballotstuff recommender inflates:
+// its named peer, or every attacking node of the mix except itself.
+func (s Spec) vouchedBy(a AttackSpec) []addr.Node {
+	if a.Peer != 0 {
+		return []addr.Node{addr.NodeAt(a.Peer)}
+	}
+	return s.protectedBy(a).Sorted()
+}
+
 // spoofTarget resolves a linkspoof/colluding target address.
 func (s Spec) spoofTarget(a AttackSpec) addr.Node {
 	if a.Target > 0 {
@@ -488,6 +563,43 @@ type AlertCount struct {
 	Count int
 }
 
+// RepStats is the reputation-plane slice of a Result, reduced at the
+// victim's ledger. Nil when the plane is off, so pre-reputation digests
+// are byte-identical.
+type RepStats struct {
+	// Vectors, Accepted and Rejected are the victim ledger's counters
+	// (vectors ingested; entries through the deviation test).
+	Vectors  uint64
+	Accepted uint64
+	Rejected uint64
+	// Flagged is how many recommenders the victim reported dishonest.
+	Flagged int
+	// FramedHonest counts honest (non-attacking, non-victim) nodes whose
+	// gossip-bootstrapped trust at the victim (Eq. 6/7 over fresh
+	// recommendations, the value a stranger would be weighed at) ended
+	// below half the cold default — the badmouthing success metric X9
+	// sweeps. Direct trust is deliberately excluded: it has its own
+	// dynamics, and the framing question is what the gossip channel
+	// alone would make the victim believe. HonestCount is the
+	// denominator; a node the gossip channel holds no usable opinion
+	// about is not framed.
+	FramedHonest int
+	HonestCount  int
+	// Bootstrapped is how many of those honest nodes carried any usable
+	// recommendation at the end of the run.
+	Bootstrapped int
+	// MeanBootstrapTrust is the mean bootstrapped trust across the
+	// Bootstrapped nodes.
+	MeanBootstrapTrust float64
+	// ShieldedSuspects counts attack-carrying nodes whose bootstrapped
+	// trust at the victim ended above twice the cold default — the
+	// ballot-stuffing success metric (mutual vouching inflating the
+	// standing a stranger investigator would grant). SuspectCount is the
+	// denominator.
+	ShieldedSuspects int
+	SuspectCount     int
+}
+
 // Result is the deterministic reduction of one scenario run.
 type Result struct {
 	Name  string
@@ -506,6 +618,8 @@ type Result struct {
 	// Investigations is the victim's investigation-round count.
 	Investigations uint64
 	Suspects       []Suspect
+	// Reputation carries the reputation-plane reduction (nil = plane off).
+	Reputation *RepStats
 }
 
 // verdictPollStep is how often Run samples the victim's verdicts. It
@@ -574,5 +688,61 @@ func Run(spec Spec) (*Result, error) {
 		}
 		res.Suspects = append(res.Suspects, out)
 	}
+	if rep := w.Node(b.Victim).Rep; rep != nil {
+		res.Reputation = reduceReputation(spec, w, rep, store)
+	}
 	return res, nil
+}
+
+// framedFloor is the bootstrapped-trust threshold below which an honest
+// node counts as framed, and shieldedCeil the one above which an
+// attacker counts as shielded — half and double the population's cold
+// default respectively, levels honest gossip alone does not produce.
+const (
+	framedFloor  = 0.5
+	shieldedCeil = 2.0
+)
+
+// reduceReputation reads the victim's ledger into the Result: counters,
+// plus the framing metric over the honest population — each honest
+// node's bootstrapped trust at the victim, i.e. what the gossip channel
+// alone (Eq. 6/7 over fresh, deviation-filtered recommendations) would
+// make the victim believe about a stranger.
+func reduceReputation(spec Spec, w *core.Network, rep *reputation.Ledger, store *trust.Store) *RepStats {
+	st := rep.Stats()
+	out := &RepStats{
+		Vectors:  st.Vectors,
+		Accepted: st.Accepted,
+		Rejected: st.Rejected,
+		Flagged:  st.Flagged,
+	}
+	attackers := spec.attackNodes()
+	def := store.Params().Default
+	var sum float64
+	for i := 1; i <= spec.Nodes; i++ {
+		if i == spec.Victim {
+			continue
+		}
+		v, ok := rep.BootstrapTrust(addr.NodeAt(i), w.Sched.Now())
+		if attackers[i] {
+			out.SuspectCount++
+			if ok && v > def*shieldedCeil {
+				out.ShieldedSuspects++
+			}
+			continue
+		}
+		out.HonestCount++
+		if !ok {
+			continue
+		}
+		out.Bootstrapped++
+		sum += v
+		if v < def*framedFloor {
+			out.FramedHonest++
+		}
+	}
+	if out.Bootstrapped > 0 {
+		out.MeanBootstrapTrust = sum / float64(out.Bootstrapped)
+	}
+	return out
 }

@@ -60,6 +60,18 @@ func (r *Result) Canonical() string {
 	fmt.Fprintf(&b, "ctrl.dropped: %d\n", r.Ctrl.Dropped)
 	fmt.Fprintf(&b, "logRecords: %d\n", r.LogRecords)
 	fmt.Fprintf(&b, "investigations: %d\n", r.Investigations)
+	if rep := r.Reputation; rep != nil {
+		// Reputation-plane lines appear only when the plane ran, so every
+		// pre-reputation golden stays byte-identical.
+		fmt.Fprintf(&b, "rep.vectors: %d\n", rep.Vectors)
+		fmt.Fprintf(&b, "rep.accepted: %d\n", rep.Accepted)
+		fmt.Fprintf(&b, "rep.rejected: %d\n", rep.Rejected)
+		fmt.Fprintf(&b, "rep.flagged: %d\n", rep.Flagged)
+		fmt.Fprintf(&b, "rep.framed: %d/%d\n", rep.FramedHonest, rep.HonestCount)
+		fmt.Fprintf(&b, "rep.bootstrapped: %d\n", rep.Bootstrapped)
+		fmt.Fprintf(&b, "rep.meanBootstrapTrust: %.6f\n", rep.MeanBootstrapTrust)
+		fmt.Fprintf(&b, "rep.shielded: %d/%d\n", rep.ShieldedSuspects, rep.SuspectCount)
+	}
 	for _, a := range r.Alerts {
 		fmt.Fprintf(&b, "alert %s: %d\n", a.Rule, a.Count)
 	}

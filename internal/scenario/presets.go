@@ -226,6 +226,55 @@ func init() {
 			{Kind: "logforge", Node: 5, At: Dur(45 * time.Second)},
 		},
 	})
+	Register(Spec{
+		Name: "badmouth",
+		Description: "phantom spoofer plus three badmouthing recommenders (nodes 2-4) " +
+			"gossiping zero-trust vectors about every honest node under mobility — the " +
+			"deviation test flags them and their framing collapses (DESIGN.md §9)",
+		Seed:       1,
+		Nodes:      16,
+		Duration:   Dur(4 * time.Minute),
+		Mobility:   MobilitySpec{Model: "waypoint", MaxSpeed: 2},
+		DetectAll:  true,
+		Reputation: &ReputationSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 16, Mode: "phantom", At: Dur(45 * time.Second), Pin: true, DropCtrl: true},
+			{Kind: "badmouth", Node: 2, At: Dur(45 * time.Second)},
+			{Kind: "badmouth", Node: 3, At: Dur(45 * time.Second)},
+			{Kind: "badmouth", Node: 4, At: Dur(45 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name: "ballotstuff",
+		Description: "colluding claim-spoofers shielded by two ballot-stuffing recommenders " +
+			"(nodes 2 and 5) vouching maximal trust for the pair — recommendation trust is a " +
+			"separate ledger, so the stuffers' collapsed R stops inflating the colluders' standing",
+		Seed:       1,
+		Nodes:      16,
+		Duration:   Dur(210 * time.Second),
+		DetectAll:  true,
+		Reputation: &ReputationSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "colluding", Node: 16, Peer: 15, Mode: "claim", At: Dur(45 * time.Second), Pin: true},
+			{Kind: "ballotstuff", Node: 2, At: Dur(45 * time.Second)},
+			{Kind: "ballotstuff", Node: 5, At: Dur(45 * time.Second)},
+		},
+	})
+	Register(Spec{
+		Name: "recommend-onoff",
+		Description: "an on-off badmouther (node 2, 30s phases) alternating forged and " +
+			"camouflaged vectors to stay under the deviation test's flagging threshold — " +
+			"the classic reputation-system evasion, pinned as a known limit",
+		Seed:       1,
+		Nodes:      16,
+		Duration:   Dur(210 * time.Second),
+		DetectAll:  true,
+		Reputation: &ReputationSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "linkspoof", Node: 16, Mode: "phantom", At: Dur(45 * time.Second), Pin: true, DropCtrl: true},
+			{Kind: "badmouth", Node: 2, At: Dur(45 * time.Second), OnOff: Dur(30 * time.Second)},
+		},
+	})
 	Register(x5Baselines())
 	registerScalePresets()
 	Register(Spec{

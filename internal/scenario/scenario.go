@@ -45,6 +45,13 @@ func (d Duration) D() time.Duration { return time.Duration(d) }
 // Dur converts from time.Duration.
 func Dur(d time.Duration) Duration { return Duration(d) }
 
+// DurPtr converts to an optional Duration field (MobilitySpec.Pause and
+// .Epoch distinguish nil = "use the default" from an explicit zero).
+func DurPtr(d time.Duration) *Duration {
+	v := Duration(d)
+	return &v
+}
+
 // String renders like time.Duration.
 func (d Duration) String() string { return time.Duration(d).String() }
 
@@ -107,24 +114,41 @@ type MobilitySpec struct {
 	// the walk model. Both in m/s.
 	MinSpeed float64 `json:"minSpeed,omitempty"`
 	MaxSpeed float64 `json:"maxSpeed,omitempty"`
-	// Pause is the waypoint dwell time (default 5s).
-	Pause Duration `json:"pause,omitempty"`
-	// Epoch is the walk segment duration (default 10s).
-	Epoch Duration `json:"epoch,omitempty"`
+	// Pause is the waypoint dwell time. Nil (absent in JSON) defaults to
+	// 5s; an explicit "0s" declares pause-free waypoint motion — the
+	// pointer is what distinguishes "unset" from "zero".
+	Pause *Duration `json:"pause,omitempty"`
+	// Epoch is the walk segment duration; nil defaults to 10s. Unlike
+	// Pause, an explicit zero still resolves to 10s — a zero-length walk
+	// segment is degenerate, so mobility.NewRandomWalk re-defaults it;
+	// the unset-vs-zero distinction the pointer preserves is only
+	// meaningful for Pause.
+	Epoch *Duration `json:"epoch,omitempty"`
+}
+
+// durOf dereferences an optional duration, substituting def when unset.
+func durOf(d *Duration, def time.Duration) time.Duration {
+	if d == nil {
+		return def
+	}
+	return d.D()
 }
 
 // AttackSpec is one adversarial behavior of the mix. Node (and for some
 // kinds Peer) are 1-based node indices.
 type AttackSpec struct {
 	// Kind is one of "linkspoof", "blackhole", "grayhole", "wormhole",
-	// "colluding", "storm" or "logforge".
+	// "colluding", "storm", "logforge", "badmouth" or "ballotstuff".
 	Kind string `json:"kind"`
 	// Node is the attacking node (the first mouth/member for wormhole
 	// and colluding).
 	Node int `json:"node"`
 	// Peer is the second wormhole mouth, the second colluding member, the
-	// originator a storm masquerades as, or the single suspect a
-	// logforge node covers for (0 = every attacker in the mix).
+	// originator a storm masquerades as, the single suspect a logforge
+	// node covers for (0 = every attacker in the mix), the honest node a
+	// badmouth recommender frames (0 = every honest node), or the
+	// accomplice a ballotstuff recommender vouches for (0 = every
+	// attacker in the mix).
 	Peer int `json:"peer,omitempty"`
 	// Mode selects the link-spoofing variant: "phantom" (default),
 	// "claim" or "omit". Colluding groups default to "claim".
@@ -144,6 +168,10 @@ type AttackSpec struct {
 	Interval Duration `json:"interval,omitempty"`
 	// Delay is the wormhole tunnel latency (default 0).
 	Delay Duration `json:"delay,omitempty"`
+	// OnOff, for the recommender kinds, alternates dishonest and
+	// camouflaged gossip phases of this length (0 = always dishonest) —
+	// the on-off evasion of the deviation test.
+	OnOff Duration `json:"onOff,omitempty"`
 	// Pin places the attacker statically half a radio range from the
 	// victim, guaranteeing adjacency regardless of placement.
 	Pin bool `json:"pin,omitempty"`
@@ -165,6 +193,29 @@ type EvidenceSpec struct {
 	// ProvenWeight is the Eq. 8 trust multiplier for proof-backed
 	// testimony (default 2).
 	ProvenWeight float64 `json:"provenWeight,omitempty"`
+}
+
+// ReputationSpec enables the reputation plane (DESIGN.md §9): nodes
+// gossip trust vectors, receivers filter them through a deviation test,
+// maintain a separate recommendation-trust ledger, and detectors
+// bootstrap trust in strangers via Eq. 6/7. Off by default — the plane
+// adds gossip traffic and scheduler events, so enabling it changes a
+// scenario's digest.
+type ReputationSpec struct {
+	Enabled bool `json:"enabled"`
+	// GossipInterval is the trust-vector flood period (default 10s).
+	GossipInterval Duration `json:"gossipInterval,omitempty"`
+	// Deviation is the deviation-test acceptance threshold (default 0.25).
+	Deviation float64 `json:"deviation,omitempty"`
+	// MaxEntries caps subjects per gossiped vector (default 32).
+	MaxEntries int `json:"maxEntries,omitempty"`
+	// Freshness bounds the age of usable recommendations (default 60s).
+	Freshness Duration `json:"freshness,omitempty"`
+	// NoFilter disables the deviation test (the X9 ablation arm).
+	NoFilter bool `json:"noFilter,omitempty"`
+	// DishonestAfter is the majority-failed-vector count that flags a
+	// recommender (default 3).
+	DishonestAfter int `json:"dishonestAfter,omitempty"`
 }
 
 // RoundsSpec parameterizes a rounds-kind scenario (the §V round-based
@@ -216,6 +267,8 @@ type Spec struct {
 	Trust *trust.Params `json:"trust,omitempty"`
 	// Evidence enables the tamper-evident evidence plane.
 	Evidence *EvidenceSpec `json:"evidence,omitempty"`
+	// Reputation enables recommendation gossip and trust propagation.
+	Reputation *ReputationSpec `json:"reputation,omitempty"`
 	// Attacks is the adversary mix.
 	Attacks []AttackSpec `json:"attacks,omitempty"`
 	// Rounds parameterizes rounds-kind scenarios.
@@ -263,12 +316,9 @@ func (s Spec) WithDefaults() Spec {
 	if s.Mobility.Model == "" {
 		s.Mobility.Model = "static"
 	}
-	if s.Mobility.Pause <= 0 {
-		s.Mobility.Pause = Dur(5 * time.Second)
-	}
-	if s.Mobility.Epoch <= 0 {
-		s.Mobility.Epoch = Dur(10 * time.Second)
-	}
+	// Pause and Epoch default at the point of use (mobilityFor): nil
+	// means "take the default", while an explicit zero — a pause-free
+	// waypoint model — survives defaulting untouched.
 	return s
 }
 
@@ -316,9 +366,20 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario %q: %d liars in a population of %d", s.Name, s.Liars, s.Nodes)
 	}
 	claimed := map[int]string{}
+	claimedRec := map[int]bool{}
 	for i, a := range s.Attacks {
 		if err := s.validateAttack(a); err != nil {
 			return fmt.Errorf("scenario %q: attack %d: %w", s.Name, i, err)
+		}
+		// Recommender attacks occupy their own per-node slot (the gossip
+		// hook), orthogonal to the role-bearing router attacks below.
+		if a.Kind == "badmouth" || a.Kind == "ballotstuff" {
+			if claimedRec[a.Node] {
+				return fmt.Errorf("scenario %q: attack %d: node %d already carries a recommender attack",
+					s.Name, i, a.Node)
+			}
+			claimedRec[a.Node] = true
+			continue
 		}
 		// A node carries at most one role-bearing attack: the spoofer and
 		// drop hooks occupy the same router slots (core.NodeSpec installs
@@ -380,6 +441,19 @@ func (s Spec) validateAttack(a AttackSpec) error {
 		}
 		if a.Peer == a.Node {
 			return fmt.Errorf("logforge: node %d cannot alibi itself (suspects are never interrogated)", a.Node)
+		}
+	case "badmouth", "ballotstuff":
+		if s.Reputation == nil || !s.Reputation.Enabled {
+			return fmt.Errorf("%s: node %d forges recommendations but the spec enables no reputation plane", a.Kind, a.Node)
+		}
+		if a.Peer != 0 && !inPop(a.Peer) {
+			return fmt.Errorf("%s: target %d outside population %d", a.Kind, a.Peer, s.Nodes)
+		}
+		if a.Peer == a.Node {
+			return fmt.Errorf("%s: node %d cannot recommend about itself (self-promotion is discarded)", a.Kind, a.Node)
+		}
+		if a.OnOff < 0 {
+			return fmt.Errorf("%s: negative onOff period %s", a.Kind, a.OnOff)
 		}
 	default:
 		return fmt.Errorf("unknown attack kind %q", a.Kind)

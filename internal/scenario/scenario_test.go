@@ -5,7 +5,12 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/geo"
 )
+
+// mobilityProbeStart is a fixed start point for mobility probes.
+var mobilityProbeStart = geo.Pt(100, 100)
 
 func TestDurationJSON(t *testing.T) {
 	cases := []struct {
@@ -129,6 +134,21 @@ func TestValidate(t *testing.T) {
 				{Kind: "logforge", Node: 2},
 				{Kind: "blackhole", Node: 2},
 			}},
+		// Recommender attacks need the reputation plane, an in-population
+		// target, no self-recommendation, a non-negative on-off period,
+		// and at most one recommender per node.
+		{Name: "bm-norep", Attacks: []AttackSpec{{Kind: "badmouth", Node: 2}}},
+		{Name: "bm-peer", Reputation: &ReputationSpec{Enabled: true},
+			Attacks: []AttackSpec{{Kind: "badmouth", Node: 2, Peer: 99}}},
+		{Name: "bs-self", Reputation: &ReputationSpec{Enabled: true},
+			Attacks: []AttackSpec{{Kind: "ballotstuff", Node: 2, Peer: 2}}},
+		{Name: "bm-onoff", Reputation: &ReputationSpec{Enabled: true},
+			Attacks: []AttackSpec{{Kind: "badmouth", Node: 2, OnOff: Dur(-time.Second)}}},
+		{Name: "bm-dup", Reputation: &ReputationSpec{Enabled: true},
+			Attacks: []AttackSpec{
+				{Kind: "badmouth", Node: 2},
+				{Kind: "ballotstuff", Node: 2},
+			}},
 	}
 	for _, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -204,5 +224,64 @@ func TestBuildRejectsRounds(t *testing.T) {
 	}
 	if _, err := Run(spec); err == nil {
 		t.Error("Run accepted a rounds spec")
+	}
+}
+
+// TestRecommenderCoexistsWithRouterRole pins that a recommender attack
+// occupies its own per-node slot: the same node may both claim-spoof (a
+// router role) and ballot-stuff (a gossip role).
+func TestRecommenderCoexistsWithRouterRole(t *testing.T) {
+	s := Spec{
+		Name:       "rec-combo",
+		Reputation: &ReputationSpec{Enabled: true},
+		Attacks: []AttackSpec{
+			{Kind: "colluding", Node: 15, Peer: 16},
+			{Kind: "ballotstuff", Node: 15, Peer: 16},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("combined role rejected: %v", err)
+	}
+}
+
+// TestZeroPauseExpressible is the regression test for the unset-vs-zero
+// defaulting bug: an explicit "0s" waypoint pause used to be clobbered
+// back to the 5s default, making pause-free motion unexpressible.
+func TestZeroPauseExpressible(t *testing.T) {
+	parsed, err := Parse([]byte(`{
+		"name": "pausefree",
+		"nodes": 4,
+		"duration": "10s",
+		"mobility": {"model": "waypoint", "maxSpeed": 2, "pause": "0s"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parsed.WithDefaults()
+	if got.Mobility.Pause == nil || got.Mobility.Pause.D() != 0 {
+		t.Fatalf("explicit zero pause not preserved: %+v", got.Mobility.Pause)
+	}
+	// Unset still defaults (at the point of use).
+	unset := Spec{Name: "d", Mobility: MobilitySpec{Model: "waypoint", MaxSpeed: 2}}.WithDefaults()
+	if unset.Mobility.Pause != nil {
+		t.Fatalf("unset pause materialized a value: %v", unset.Mobility.Pause)
+	}
+	if d := durOf(unset.Mobility.Pause, 5*time.Second); d != 5*time.Second {
+		t.Fatalf("unset pause resolves to %v, want 5s", d)
+	}
+
+	// The two specs must genuinely move differently: a zero-pause walker
+	// never dwells, so by the first default pause window it has left the
+	// spot a defaulted walker is still sitting on.
+	pauseless := parsed
+	dwelling := parsed
+	dwelling.Mobility.Pause = nil
+	mPauseless := pauseless.mobilityFor(2, mobilityProbeStart)
+	mDwelling := dwelling.mobilityFor(2, mobilityProbeStart)
+	if mPauseless.Position(0) != mDwelling.Position(0) {
+		t.Fatal("start positions differ; probe is meaningless")
+	}
+	if mPauseless.Position(2*time.Second) == mDwelling.Position(2*time.Second) {
+		t.Error("zero-pause and defaulted-pause waypoint models moved identically")
 	}
 }

@@ -24,6 +24,14 @@ const (
 	// cryptographic proof of tampering, so the detector treats it as an
 	// immediate conviction rather than an investigation trigger.
 	RuleEvidenceForged = "evidence-forged"
+
+	// RuleDishonestRecommender is raised by the reputation plane
+	// (DESIGN.md §9): a node's gossiped trust vectors repeatedly
+	// majority-failed the receiver's deviation test. Unlike forged
+	// evidence this is statistical, not cryptographic — an honest node
+	// with a genuinely divergent view can trip it — so it costs direct
+	// trust and recommendation standing but never convicts by itself.
+	RuleDishonestRecommender = "dishonest-recommender"
 )
 
 // CatalogConfig tunes the built-in signatures.

@@ -138,11 +138,15 @@ func (p Params) clamp(v float64) float64 {
 type Store struct {
 	params Params
 	values map[addr.Node]float64
+	// seeded marks values that came from propagated (second-hand) trust
+	// rather than the node's own evidence — see SetSeeded. The mark
+	// clears the moment first-hand evidence arrives.
+	seeded addr.Set
 }
 
 // NewStore creates a store with the given parameters.
 func NewStore(p Params) *Store {
-	return &Store{params: p, values: make(map[addr.Node]float64)}
+	return &Store{params: p, values: make(map[addr.Node]float64), seeded: make(addr.Set)}
 }
 
 // Params returns the store's parameters.
@@ -163,13 +167,38 @@ func (s *Store) Known(n addr.Node) bool {
 }
 
 // Set assigns an explicit trust value (clamped), e.g. the random initial
-// trust of the paper's experiments.
+// trust of the paper's experiments. The value counts as first-hand.
 func (s *Store) Set(n addr.Node, v float64) {
 	s.values[n] = s.params.clamp(v)
+	s.seeded.Remove(n)
+}
+
+// SetSeeded assigns a trust value derived from propagated (second-hand)
+// opinion — the Eq. 6/7 bootstrap. The value behaves like any other for
+// reads and Eq. 5 evolution, but FirstHand reports false until the
+// node's own evidence confirms it (Update clears the mark). The
+// distinction is what keeps the reputation plane from eating its own
+// output: a deviation test anchored on a gossip-seeded value would
+// reject honest gossip that disagrees with the original rumor, and a
+// gossiped vector containing seeded values would launder second-hand
+// opinion as first-hand testimony.
+func (s *Store) SetSeeded(n addr.Node, v float64) {
+	s.values[n] = s.params.clamp(v)
+	s.seeded.Add(n)
+}
+
+// FirstHand reports whether n has an explicit trust value backed by the
+// node's own evidence (not merely a propagated-trust seed).
+func (s *Store) FirstHand(n addr.Node) bool {
+	_, ok := s.values[n]
+	return ok && !s.seeded.Has(n)
 }
 
 // Forget removes the explicit value for n, reverting it to the default.
-func (s *Store) Forget(n addr.Node) { delete(s.values, n) }
+func (s *Store) Forget(n addr.Node) {
+	delete(s.values, n)
+	s.seeded.Remove(n)
+}
 
 // Update applies Eq. 5 for one time slot:
 //
@@ -192,6 +221,10 @@ func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
 	}
 	v := s.params.clamp(sum + s.params.Beta*s.Get(n))
 	s.values[n] = v
+	// First-hand evidence arrived: the relationship is no longer a mere
+	// propagated seed (the seed still shaped the prior through Get, as
+	// intended — it just stops masquerading as our own observation).
+	s.seeded.Remove(n)
 	return v
 }
 

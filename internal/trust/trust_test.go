@@ -330,3 +330,34 @@ func TestDetectNoTrust(t *testing.T) {
 		t.Error("zero-trust observations reported ok")
 	}
 }
+
+func TestSeededProvenance(t *testing.T) {
+	s := NewStore(DefaultParams())
+	n := addr.NodeAt(5)
+	if s.FirstHand(n) {
+		t.Fatal("unknown node reported first-hand")
+	}
+	s.SetSeeded(n, 0.8)
+	if !s.Known(n) || s.Get(n) != 0.8 {
+		t.Fatalf("seeded value not readable: known=%v get=%v", s.Known(n), s.Get(n))
+	}
+	if s.FirstHand(n) {
+		t.Fatal("a propagated seed reported first-hand")
+	}
+	// Own evidence upgrades the relationship.
+	s.Update(n, []Evidence{{Value: 1}})
+	if !s.FirstHand(n) {
+		t.Fatal("Update did not clear the seed mark")
+	}
+	// Explicit Set is authoritative; Forget clears everything.
+	s.SetSeeded(n, 0.2)
+	s.Set(n, 0.6)
+	if !s.FirstHand(n) {
+		t.Fatal("Set did not clear the seed mark")
+	}
+	s.SetSeeded(n, 0.2)
+	s.Forget(n)
+	if s.Known(n) || s.FirstHand(n) {
+		t.Fatal("Forget left state behind")
+	}
+}

@@ -29,6 +29,13 @@ const (
 	MsgHNA   MessageType = 4
 )
 
+// MsgRecommend is this testbed's extension type for the reputation
+// plane's trust-vector gossip (DESIGN.md §9). The value is outside RFC
+// 3626's registered range, so an unextended OLSR node treats it as an
+// unknown type and floods it unprocessed (§3.4) — exactly the transparent
+// carriage a recommendation overlay needs.
+const MsgRecommend MessageType = 10
+
 // String implements fmt.Stringer.
 func (t MessageType) String() string {
 	switch t {
@@ -40,6 +47,8 @@ func (t MessageType) String() string {
 		return "MID"
 	case MsgHNA:
 		return "HNA"
+	case MsgRecommend:
+		return "RECOMMEND"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -103,6 +112,14 @@ func (c LinkCode) String() string {
 	names := [4]string{"UNSPEC", "ASYM", "SYM", "LOST"}
 	nnames := [4]string{"NOT", "SYM", "MPR", "?"}
 	return nnames[nt] + "/" + names[lt]
+}
+
+// SeqNewer implements the RFC 3626 §19 wraparound comparison over the
+// 16-bit sequence numbers this codec carries: a is newer than b when it
+// is ahead by less than half the space. Shared by the OLSR duplicate
+// logic and the reputation plane's gossip dedup so the two cannot drift.
+func SeqNewer(a, b uint16) bool {
+	return (a > b && a-b <= 32768) || (a < b && b-a > 32768)
 }
 
 // Codec errors.
@@ -350,6 +367,79 @@ func decodeHNA(b []byte) (*HNA, error) {
 	return h, nil
 }
 
+// RecommendEntry is one subject of a gossiped trust vector: the node the
+// recommendation is about and the recommender's trust in it, quantized to
+// 16 bits (QuantizeTrust). Quantization, not float transport, keeps the
+// codec byte-exact: the same vector always encodes to the same bytes on
+// every platform, which the golden corpus relies on.
+type RecommendEntry struct {
+	About addr.Node
+	Trust uint16
+}
+
+// trustQuantSteps is the quantization resolution of RecommendEntry.Trust:
+// the [0,1] trust range maps onto 0..65535.
+const trustQuantSteps = 65535
+
+// QuantizeTrust maps a trust value in [0,1] onto the 16-bit wire
+// representation (values outside the range are clamped).
+func QuantizeTrust(v float64) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return trustQuantSteps
+	}
+	return uint16(v*trustQuantSteps + 0.5)
+}
+
+// TrustValue returns the entry's trust as a float in [0,1].
+func (e RecommendEntry) TrustValue() float64 {
+	return float64(e.Trust) / trustQuantSteps
+}
+
+// Recommend is the reputation plane's trust-vector body (DESIGN.md §9):
+// the originator's direct trust in third parties, gossiped so receivers
+// can bootstrap trust in strangers through Eq. 6/7. Entries are sorted by
+// subject address on encode-side construction (reputation.Ledger); the
+// codec itself preserves order.
+type Recommend struct {
+	Entries []RecommendEntry
+}
+
+var _ Body = (*Recommend)(nil)
+
+// MsgType implements Body.
+func (*Recommend) MsgType() MessageType { return MsgRecommend }
+
+// recommendEntryLen is the wire size of one entry: address(4) + trust(2).
+const recommendEntryLen = 6
+
+func (r *Recommend) encodedSize() int { return recommendEntryLen * len(r.Entries) }
+
+func (r *Recommend) encodeTo(b []byte) {
+	off := 0
+	for _, e := range r.Entries {
+		binary.BigEndian.PutUint32(b[off:], uint32(e.About))
+		binary.BigEndian.PutUint16(b[off+4:], e.Trust)
+		off += recommendEntryLen
+	}
+}
+
+func decodeRecommend(b []byte) (*Recommend, error) {
+	if len(b)%recommendEntryLen != 0 {
+		return nil, fmt.Errorf("recommend body length %d: %w", len(b), ErrBadBody)
+	}
+	r := &Recommend{}
+	for p := 0; p < len(b); p += recommendEntryLen {
+		r.Entries = append(r.Entries, RecommendEntry{
+			About: addr.Node(binary.BigEndian.Uint32(b[p:])),
+			Trust: binary.BigEndian.Uint16(b[p+4:]),
+		})
+	}
+	return r, nil
+}
+
 // RawBody carries an unknown message type opaquely, as RFC 3626 §3.4
 // requires unknown messages to still be forwarded.
 type RawBody struct {
@@ -421,6 +511,8 @@ func decodeMessage(b []byte) (Message, int, error) {
 		m.Body, err = decodeMID(body)
 	case MsgHNA:
 		m.Body, err = decodeHNA(body)
+	case MsgRecommend:
+		m.Body, err = decodeRecommend(body)
 	default:
 		data := make([]byte, len(body))
 		copy(data, body)

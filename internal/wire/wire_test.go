@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -438,5 +439,64 @@ func TestAppendToMatchesEncode(t *testing.T) {
 	out := pkts[0].AppendTo(prefix)
 	if out[0] != 0x01 || !reflect.DeepEqual(out[1:], pkts[0].Encode()) {
 		t.Fatal("AppendTo clobbered the existing prefix")
+	}
+}
+
+func TestRecommendRoundTrip(t *testing.T) {
+	p := &Packet{Seq: 3, Messages: []Message{{
+		VTime: 60 * time.Second, Originator: addr.NodeAt(7), TTL: 16, Seq: 11,
+		Body: &Recommend{Entries: []RecommendEntry{
+			{About: addr.NodeAt(1), Trust: QuantizeTrust(0.4)},
+			{About: addr.NodeAt(2), Trust: QuantizeTrust(0)},
+			{About: addr.NodeAt(9), Trust: QuantizeTrust(1)},
+		}},
+	}}}
+	m := roundTrip(t, p).Messages[0]
+	if m.Type() != MsgRecommend {
+		t.Fatalf("type = %v", m.Type())
+	}
+	r, ok := m.Body.(*Recommend)
+	if !ok {
+		t.Fatalf("body type %T", m.Body)
+	}
+	if !reflect.DeepEqual(r.Entries, p.Messages[0].Body.(*Recommend).Entries) {
+		t.Errorf("entries = %+v", r.Entries)
+	}
+}
+
+func TestRecommendRejectsRaggedBody(t *testing.T) {
+	p := &Packet{Messages: []Message{{
+		VTime: time.Second, Originator: addr.NodeAt(1),
+		Body: &Recommend{Entries: []RecommendEntry{{About: addr.NodeAt(2), Trust: 5}}},
+	}}}
+	raw := p.Encode()
+	// Truncate one byte off the entry and fix up the length fields: the
+	// decoder must reject the ragged body rather than mis-slice it.
+	raw = raw[:len(raw)-1]
+	binary.BigEndian.PutUint16(raw, uint16(len(raw)))
+	binary.BigEndian.PutUint16(raw[4+2:], uint16(len(raw)-4))
+	if _, err := DecodePacket(raw); err == nil {
+		t.Fatal("ragged recommend body decoded without error")
+	}
+}
+
+func TestQuantizeTrust(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{-0.5, 0}, {0, 0}, {1, 65535}, {1.5, 65535}, {0.5, 32768},
+	}
+	for _, c := range cases {
+		if got := QuantizeTrust(c.in); got != c.want {
+			t.Errorf("QuantizeTrust(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Round-tripping any quantized value is the identity on the grid.
+	for _, q := range []uint16{0, 1, 1000, 32768, 65534, 65535} {
+		e := RecommendEntry{Trust: q}
+		if got := QuantizeTrust(e.TrustValue()); got != q {
+			t.Errorf("re-quantizing %d gave %d", q, got)
+		}
 	}
 }
