@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update fuzz lint clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update fuzz lint clean
 
 check: fmt vet build test
 
@@ -49,6 +49,16 @@ scale:
 scale-update:
 	REPRO_SCALE=1 $(GO) test -run TestGoldenScale -update-golden -count=1 -timeout 40m .
 
+# Allocation-regression tier (DESIGN.md §10): AllocsPerRun ceilings on
+# the hot functions plus whole-preset budgets gated ±10% against
+# testdata/alloc_budget.json. `make alloc-update` re-records the budget
+# after an intentional change.
+alloc:
+	$(GO) test -run 'TestAlloc' -count=1 . ./internal/detect
+
+alloc-update:
+	$(GO) test -run 'TestAllocBudget' -update-alloc-budget -count=1 .
+
 # Short local fuzz pass over the codecs and the proof verifier (CI runs
 # the same budget per target).
 fuzz:
@@ -56,6 +66,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParseLine$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzVerifyInclusion$$' -fuzztime=30s ./internal/auditlog
+	$(GO) test -fuzz='^FuzzBinaryRoundTrip$$' -fuzztime=30s ./internal/core
 
 # Static analysis beyond go vet: staticcheck (correctness + style) and
 # govulncheck (known-vulnerability reachability). Both resolve through

@@ -8,7 +8,7 @@ package addr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -34,8 +34,26 @@ func (n Node) Index() int {
 	return int(uint32(n) - 0x0a000000)
 }
 
+// internedHosts is the number of NodeAt addresses whose String rendering
+// is precomputed. Audit-log records retain address strings, so sharing
+// one immutable render per node removes a per-call allocation on the
+// logging hot path. Filled once at init, hence race-free.
+const internedHosts = 1024
+
+var internedNames [internedHosts]string
+
+func init() {
+	for i := range internedNames {
+		n := Node(0x0a000000 + uint32(i)) //nolint:gosec // small constant range
+		internedNames[i] = string(n.AppendText(make([]byte, 0, 15)))
+	}
+}
+
 // String renders the address as a dotted quad, or "*" for Broadcast.
 func (n Node) String() string {
+	if i := uint32(n) - 0x0a000000; i < internedHosts {
+		return internedNames[i]
+	}
 	return string(n.AppendText(make([]byte, 0, 15)))
 }
 
@@ -56,17 +74,26 @@ func (n Node) AppendText(b []byte) []byte {
 	return strconv.AppendUint(b, uint64(v&0xff), 10)
 }
 
-// Parse converts a dotted-quad string (or "*") back into a Node.
+// Parse converts a dotted-quad string (or "*") back into a Node. It
+// scans the string directly — log replay parses two addresses per
+// record, so the split-allocate-convert route is too hot.
 func Parse(s string) (Node, error) {
 	if s == "*" {
 		return Broadcast, nil
 	}
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return None, fmt.Errorf("addr: %q is not a dotted quad", s)
-	}
 	var v uint32
-	for _, p := range parts {
+	rest := s
+	for i := 0; i < 4; i++ {
+		p := rest
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return None, fmt.Errorf("addr: %q is not a dotted quad", s)
+			}
+			p, rest = rest[:dot], rest[dot+1:]
+		} else if strings.IndexByte(rest, '.') >= 0 {
+			return None, fmt.Errorf("addr: %q is not a dotted quad", s)
+		}
 		o, err := strconv.Atoi(p)
 		if err != nil || o < 0 || o > 255 {
 			return None, fmt.Errorf("addr: bad octet %q in %q", p, s)
@@ -159,7 +186,19 @@ func (s Set) Sorted() []Node {
 	for n := range s {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	return out
+}
+
+// AppendSorted appends the members to out in ascending address order —
+// the allocation-free variant of Sorted for hot paths that own a
+// reusable buffer.
+func (s Set) AppendSorted(out []Node) []Node {
+	start := len(out)
+	for n := range s {
+		out = append(out, n)
+	}
+	slices.Sort(out[start:])
 	return out
 }
 

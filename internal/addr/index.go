@@ -1,0 +1,71 @@
+package addr
+
+// Index is a run-scoped dense numbering of nodes: every address that a
+// run's hot state must key on is assigned a small integer slot, in
+// first-assignment order. The simulation kernel is single-threaded and
+// builds membership in address order (scenario.Build adds nodes 1..N
+// before anything runs), so slot assignment is deterministic: the run
+// membership occupies slots 0..N-1 in address order, and stray
+// addresses that surface later (phantom advertisements, wormhole tunnel
+// mouths) take the next slots in first-touch event order, which the
+// seeded scheduler fixes.
+//
+// The slot spaces of two runs are unrelated; an Index must never
+// outlive its run. Hot per-node state (trust values, detect samples,
+// reputation rows) keys on slots so that reads and writes are array
+// indexing instead of map operations.
+type Index struct {
+	// contig is the length of the contiguous fast path: addresses
+	// NodeAt(1)..NodeAt(contig) occupy slots 0..contig-1 and resolve
+	// arithmetically, with no map lookup at all. Build-time membership
+	// lands here because nodes are added in address order.
+	contig int
+	// extra holds slots of addresses outside the contiguous prefix.
+	extra map[Node]int32
+	// nodes maps slot -> address (the inverse of Slot).
+	nodes []Node
+}
+
+// NewIndex returns an empty index with capacity for sizeHint nodes.
+func NewIndex(sizeHint int) *Index {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Index{nodes: make([]Node, 0, sizeHint)}
+}
+
+// Len returns the number of assigned slots.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// Slot returns the dense slot of n, if assigned.
+func (ix *Index) Slot(n Node) (int, bool) {
+	if i := n.Index(); i >= 1 && i <= ix.contig {
+		return i - 1, true
+	}
+	s, ok := ix.extra[n]
+	return int(s), ok
+}
+
+// Assign returns n's slot, assigning the next free one on first sight.
+// Assignment order is the run's deterministic first-touch order.
+func (ix *Index) Assign(n Node) int {
+	if s, ok := ix.Slot(n); ok {
+		return s
+	}
+	s := len(ix.nodes)
+	ix.nodes = append(ix.nodes, n)
+	// Grow the arithmetic prefix while assignments arrive in NodeAt
+	// order with no stray in between — the build-time common case.
+	if len(ix.extra) == 0 && n.Index() == ix.contig+1 {
+		ix.contig++
+		return s
+	}
+	if ix.extra == nil {
+		ix.extra = make(map[Node]int32, 8)
+	}
+	ix.extra[n] = int32(s) //nolint:gosec // slots are small
+	return s
+}
+
+// At returns the address occupying slot s.
+func (ix *Index) At(s int) Node { return ix.nodes[s] }

@@ -56,13 +56,22 @@ func F(key, value string) Field { return Field{Key: key, Value: value} }
 func FNode(key string, n addr.Node) Field { return Field{Key: key, Value: n.String()} }
 
 // FNodes builds a field holding a comma-separated node list in the given
-// order (callers sort for determinism).
+// order (callers sort for determinism). The render goes through one
+// buffer — no per-node String allocations — and is byte-identical to
+// joining the individual renderings.
 func FNodes(key string, nodes []addr.Node) Field {
-	parts := make([]string, len(nodes))
-	for i, n := range nodes {
-		parts[i] = n.String()
+	if len(nodes) == 0 {
+		return Field{Key: key}
 	}
-	return Field{Key: key, Value: strings.Join(parts, ",")}
+	var arr [256]byte // typical lists fit on the stack; append spills if not
+	b := arr[:0]
+	for i, n := range nodes {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = n.AppendText(b)
+	}
+	return Field{Key: key, Value: string(b)}
 }
 
 // FInt builds an integer field.
@@ -102,16 +111,22 @@ func (r *Record) NodesField(key string) ([]addr.Node, error) {
 	if !ok || v == "" {
 		return nil, nil
 	}
-	parts := strings.Split(v, ",")
-	out := make([]addr.Node, 0, len(parts))
-	for _, p := range parts {
+	// Walk the commas in place instead of materializing a []string; the
+	// segment semantics (including empty segments around stray commas)
+	// match strings.Split exactly.
+	out := make([]addr.Node, 0, strings.Count(v, ",")+1)
+	for {
+		p, rest, found := strings.Cut(v, ",")
 		n, err := addr.Parse(p)
 		if err != nil {
 			return nil, fmt.Errorf("auditlog: field %q: %w", key, err)
 		}
 		out = append(out, n)
+		if !found {
+			return out, nil
+		}
+		v = rest
 	}
-	return out, nil
 }
 
 // IntField parses the named field as an integer.
@@ -392,6 +407,22 @@ func (b *Buffer) Since(seq uint64) ([]Record, uint64) {
 	return out, b.NextSeq()
 }
 
+// AppendSince is Since appending into a caller-owned buffer: pass the
+// previous result truncated to [:0] and the slice is reused instead of
+// reallocated every poll — the detector tick path reads every node's
+// buffer once per second. Returns the extended slice and the sequence
+// number to pass next time.
+func (b *Buffer) AppendSince(seq uint64, out []Record) ([]Record, uint64) {
+	if seq < b.base {
+		seq = b.base
+	}
+	start := int(seq - b.base) //nolint:gosec // bounded by len
+	if start >= len(b.recs) {
+		return out, b.NextSeq()
+	}
+	return append(out, b.recs[start:]...), b.NextSeq()
+}
+
 // Dump renders every retained record, one per line.
 func (b *Buffer) Dump() string {
 	var sb strings.Builder
@@ -415,6 +446,15 @@ func NewCursor(b *Buffer) *Cursor { return &Cursor{buf: b, next: b.base} }
 // Read returns the records appended since the previous Read.
 func (c *Cursor) Read() []Record {
 	recs, next := c.buf.Since(c.next)
+	c.next = next
+	return recs
+}
+
+// ReadInto is Read appending into a caller-owned buffer (see
+// Buffer.AppendSince); the returned slice is valid until the caller's
+// next reuse of the buffer.
+func (c *Cursor) ReadInto(out []Record) []Record {
+	recs, next := c.buf.AppendSince(c.next, out)
 	c.next = next
 	return recs
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/reputation"
 	"repro/internal/sim"
 	"repro/internal/trust"
+	"repro/internal/wire"
 )
 
 // Frame payload discriminators: the first byte of every radio payload
@@ -86,6 +87,12 @@ type Config struct {
 	LogCap int
 	// CtrlTTL bounds control-plane forwarding (default 16 hops).
 	CtrlTTL int
+	// BinaryCtrl switches the control-plane envelope (verification
+	// traffic and tree-head gossip) from JSON to the length-prefixed
+	// binary codec (ctrlwire.go). Receivers auto-detect the format by
+	// leading byte, so the flag only selects what this network emits.
+	// Off by default: the JSON envelope is what the golden corpus pins.
+	BinaryCtrl bool
 	// Evidence enables tree-head gossip and proof-carrying replies.
 	Evidence EvidenceConfig
 	// Reputation enables recommendation gossip and Eq. 6/7 trust
@@ -101,6 +108,11 @@ type Network struct {
 	cfg   Config
 	nodes map[addr.Node]*Node
 	order []addr.Node
+
+	// index is the run-wide dense node index: every detector's trust
+	// store, reputation ledger and suspect-state slab shares it, so a
+	// node occupies the same slot everywhere and slabs stay compact.
+	index *addr.Index
 
 	ctrlSent, ctrlDelivered, ctrlDropped uint64
 }
@@ -128,6 +140,7 @@ func NewNetwork(cfg Config) *Network {
 		Medium: radio.NewMedium(sched, cfg.Radio),
 		cfg:    cfg,
 		nodes:  make(map[addr.Node]*Node),
+		index:  addr.NewIndex(64),
 	}
 }
 
@@ -200,6 +213,10 @@ type Node struct {
 	Recommender *attack.Recommender
 	recSeen     map[addr.Node]uint16
 	recSeq      uint16
+	recDec      wire.Decoder       // recommend-packet decode arena
+	entScratch  []reputation.Entry // reused by ingest and gossip ticks
+	nbScratch   []addr.Node        // reused by forwardCtrl's neighbor scan
+	ctrlBuf     []byte             // reused binary ctrl encode scratch
 }
 
 // AddNode instantiates and wires a node; call before Start.
@@ -265,7 +282,7 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 		if spec.TrustParams != nil {
 			params = *spec.TrustParams
 		}
-		n.Trust = trust.NewStore(params)
+		n.Trust = trust.NewStoreIndexed(params, w.index)
 		dcfg := *spec.Detector
 		dcfg.Self = id
 		if w.cfg.Reputation.Enabled {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"slices"
 
 	"repro/internal/addr"
 	"repro/internal/auditlog"
@@ -85,27 +86,29 @@ func (n *Node) forwardCtrl(m *ctrlMsg) {
 	}
 	m.TTL--
 
-	avoid := addr.NewSet(m.Avoid...)
+	// Avoid lists are a handful of nodes; a linear scan beats building a
+	// set per hop.
 	next := addr.None
 
 	// Direct neighbor?
-	if n.Router.IsSymNeighbor(m.To) && !avoid.Has(m.To) {
+	if n.Router.IsSymNeighbor(m.To) && !slices.Contains(m.Avoid, m.To) {
 		next = m.To
 	}
 	// Normal route, if its next hop is allowed.
 	if next == addr.None {
-		if r, ok := n.Router.RouteTo(m.To); ok && !avoid.Has(r.NextHop) {
+		if r, ok := n.Router.RouteTo(m.To); ok && !slices.Contains(m.Avoid, r.NextHop) {
 			next = r.NextHop
 		}
 	}
 	// Any other symmetric neighbor that covers the destination (an
 	// alternative MPR in the paper's terms).
 	if next == addr.None {
-		for _, nb := range n.Router.SymNeighbors().Sorted() {
-			if avoid.Has(nb) || nb == m.From {
+		n.nbScratch = n.Router.SymNeighborsSorted(n.nbScratch[:0])
+		for _, nb := range n.nbScratch {
+			if nb == m.From || slices.Contains(m.Avoid, nb) {
 				continue
 			}
-			if n.Router.CoverOf(nb).Has(m.To) {
+			if n.Router.Covers(nb, m.To) {
 				next = nb
 				break
 			}
@@ -116,19 +119,48 @@ func (n *Node) forwardCtrl(m *ctrlMsg) {
 		return
 	}
 
-	raw, err := json.Marshal(m)
+	payload, err := n.encodeCtrl(m)
 	if err != nil {
 		n.net.ctrlDropped++
 		return
 	}
-	n.net.Medium.Send(n.ID, next, append([]byte{PayloadCtrl}, raw...))
+	n.net.Medium.Send(n.ID, next, payload)
+}
+
+// encodeCtrl renders the on-air form of m, PayloadCtrl discriminator
+// included: the binary envelope when the network opts in, JSON
+// otherwise. The payload is freshly allocated either way — the medium
+// retains it until delivery.
+func (n *Node) encodeCtrl(m *ctrlMsg) ([]byte, error) {
+	if n.net.cfg.BinaryCtrl {
+		// Build into the node's scratch (amortizing growth), then hand the
+		// medium an exact-size copy it may retain.
+		n.ctrlBuf = appendCtrlMsg(append(n.ctrlBuf[:0], PayloadCtrl), m)
+		return slices.Clone(n.ctrlBuf), nil
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{PayloadCtrl}, raw...), nil
 }
 
 // handleCtrl processes a received control payload: deliver locally or
 // relay onward. A misbehaving relay may silently discard it.
 func (n *Node) handleCtrl(body []byte) {
+	// The leading byte tells the formats apart: JSON starts with '{',
+	// the binary envelope with its magic. Decoding by inspection (rather
+	// than by local config) keeps receivers agnostic to the sender's
+	// codec choice.
 	var m ctrlMsg
-	if err := json.Unmarshal(body, &m); err != nil {
+	if len(body) > 0 && body[0] == ctrlBinaryMagic {
+		dm, err := decodeCtrlMsg(body)
+		if err != nil {
+			n.net.ctrlDropped++
+			return
+		}
+		m = *dm
+	} else if err := json.Unmarshal(body, &m); err != nil {
 		n.net.ctrlDropped++
 		return
 	}
@@ -170,12 +202,12 @@ func (n *Node) gossipHead() {
 
 // broadcastTreeHead emits the gossip frame one hop in every direction.
 func (n *Node) broadcastTreeHead(m *ctrlMsg) {
-	raw, err := json.Marshal(m)
+	payload, err := n.encodeCtrl(m)
 	if err != nil {
 		n.net.ctrlDropped++
 		return
 	}
-	n.net.Medium.Send(n.ID, addr.Broadcast, append([]byte{PayloadCtrl}, raw...))
+	n.net.Medium.Send(n.ID, addr.Broadcast, payload)
 }
 
 // handleTreeHead processes one gossiped tree head: verify it against the

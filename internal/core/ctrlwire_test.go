@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/auditlog"
+	"repro/internal/detect"
+)
+
+// sampleCtrlMsgs covers every optional section of the envelope: bare
+// requests, proof-carrying replies, tree-head gossip with and without a
+// consistency proof.
+func sampleCtrlMsgs() []*ctrlMsg {
+	h1 := auditlog.TreeHead{Size: 42, Root: auditlog.Hash{1, 2, 3, 31: 9}}
+	h2 := auditlog.TreeHead{Size: 99, Root: auditlog.Hash{0xff, 31: 0xee}}
+	proof := auditlog.Proof{Path: []auditlog.Hash{{7, 31: 8}, {9, 31: 10}}}
+	return []*ctrlMsg{
+		{
+			Kind: ctrlVerifyReq, From: 1, To: 5, TTL: 16,
+			Avoid: []addr.Node{3, 9},
+			Req: &detect.VerifyRequest{
+				ID: 7, Investigator: 1, Responder: 5, Suspect: 3, Link: 9,
+				Advertised: true, Avoid: []addr.Node{3, 9},
+			},
+		},
+		{
+			Kind: ctrlVerifyReq, From: 2, To: 6, TTL: 1,
+			Req: &detect.VerifyRequest{
+				ID: 8, Investigator: 2, Responder: 6, Suspect: 4, Link: 10,
+				KnownHead: &h1,
+			},
+		},
+		{
+			Kind: ctrlVerifyRep, From: 5, To: 1, TTL: 15,
+			Avoid: []addr.Node{3},
+			Rep: &detect.VerifyReply{
+				ID: 7, Responder: 5, Suspect: 3, Link: 9,
+				Answered: true, LinkExists: false, FirstHand: true,
+				Head: &h2, Consistency: &proof,
+				Citations: []detect.Citation{
+					{Index: 4, Record: "t=1s node=5 kind=hello_rx from=3", Proof: proof},
+					{Index: 9, Record: "", Proof: auditlog.Proof{}},
+				},
+			},
+		},
+		{
+			Kind: ctrlTreeHead, From: 4, To: addr.Broadcast, TTL: 16,
+			Origin: 4, Head: &h1,
+		},
+		{
+			Kind: ctrlTreeHead, From: 4, To: addr.Broadcast, TTL: 3,
+			Origin: 4, Head: &h2, HeadPrev: 42, HeadProof: &proof,
+		},
+	}
+}
+
+func TestCtrlBinaryRoundTrip(t *testing.T) {
+	for i, m := range sampleCtrlMsgs() {
+		enc := appendCtrlMsg(nil, m)
+		if enc[0] != ctrlBinaryMagic {
+			t.Fatalf("msg %d: missing magic byte", i)
+		}
+		dec, err := decodeCtrlMsg(enc)
+		if err != nil {
+			t.Fatalf("msg %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, dec) {
+			t.Errorf("msg %d: round trip diverged:\n in: %+v\nout: %+v", i, m, dec)
+		}
+		// The binary form must also agree with what the JSON codec
+		// preserves: marshal the original, unmarshal, and the result must
+		// binary-round-trip to the same envelope.
+		raw, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("msg %d: json: %v", i, err)
+		}
+		var viaJSON ctrlMsg
+		if err := json.Unmarshal(raw, &viaJSON); err != nil {
+			t.Fatalf("msg %d: json round trip: %v", i, err)
+		}
+		dec2, err := decodeCtrlMsg(appendCtrlMsg(nil, &viaJSON))
+		if err != nil {
+			t.Fatalf("msg %d: binary after json: %v", i, err)
+		}
+		if !reflect.DeepEqual(&viaJSON, dec2) {
+			t.Errorf("msg %d: binary and json codecs disagree:\njson: %+v\n bin: %+v", i, &viaJSON, dec2)
+		}
+	}
+}
+
+func TestCtrlBinaryRejectsTruncation(t *testing.T) {
+	for _, m := range sampleCtrlMsgs() {
+		enc := appendCtrlMsg(nil, m)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := decodeCtrlMsg(enc[:cut]); err == nil {
+				t.Fatalf("decode accepted a %d/%d-byte prefix", cut, len(enc))
+			}
+		}
+		if _, err := decodeCtrlMsg(append(append([]byte{}, enc...), 0)); err == nil {
+			t.Fatal("decode accepted trailing garbage")
+		}
+	}
+}
+
+// binaryCanonical reports whether m survives the binary layout exactly:
+// the codec cannot represent negative TTLs, unknown kinds, or the
+// empty-but-non-nil slices JSON unmarshalling can produce.
+func binaryCanonical(m *ctrlMsg) bool {
+	switch m.Kind {
+	case ctrlVerifyReq, ctrlVerifyRep, ctrlTreeHead:
+	default:
+		return false
+	}
+	if m.TTL < 0 || int64(m.TTL) > 0xFFFFFFFF {
+		return false
+	}
+	okNodes := func(ns []addr.Node) bool { return ns == nil || (len(ns) > 0 && len(ns) <= 0xFFFF) }
+	okProof := func(p *auditlog.Proof) bool {
+		return p == nil || p.Path == nil || (len(p.Path) > 0 && len(p.Path) <= 0xFFFF)
+	}
+	if !okNodes(m.Avoid) || !okProof(m.HeadProof) {
+		return false
+	}
+	if m.Req != nil && !okNodes(m.Req.Avoid) {
+		return false
+	}
+	if r := m.Rep; r != nil {
+		if !okProof(r.Consistency) {
+			return false
+		}
+		if r.Citations != nil && (len(r.Citations) == 0 || len(r.Citations) > 0xFFFF) {
+			return false
+		}
+		for i := range r.Citations {
+			p := r.Citations[i].Proof
+			if p.Path != nil && (len(p.Path) == 0 || len(p.Path) > 0xFFFF) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzBinaryRoundTrip proves two properties of the control codec: any
+// input the binary decoder accepts re-encodes to a deep-equal envelope,
+// and any JSON-decodable envelope in canonical form survives a binary
+// round trip — i.e. the two codecs carry the same information.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	for _, m := range sampleCtrlMsgs() {
+		f.Add(appendCtrlMsg(nil, m))
+		if raw, err := json.Marshal(m); err == nil {
+			f.Add(raw)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := decodeCtrlMsg(data); err == nil {
+			enc := appendCtrlMsg(nil, m)
+			m2, err := decodeCtrlMsg(enc)
+			if err != nil {
+				t.Fatalf("re-decode of re-encode failed: %v", err)
+			}
+			if !reflect.DeepEqual(m, m2) {
+				t.Fatalf("binary round trip diverged:\n in: %+v\nout: %+v", m, m2)
+			}
+		}
+		var m ctrlMsg
+		if err := json.Unmarshal(data, &m); err == nil && binaryCanonical(&m) {
+			dec, err := decodeCtrlMsg(appendCtrlMsg(nil, &m))
+			if err != nil {
+				t.Fatalf("binary decode of json-decoded envelope failed: %v", err)
+			}
+			if !reflect.DeepEqual(&m, dec) {
+				t.Fatalf("json envelope lost in binary transit:\n in: %+v\nout: %+v", &m, dec)
+			}
+		}
+	})
+}

@@ -41,7 +41,7 @@ func (n *Node) handleRecommend(body []byte) {
 	if n.recSeen == nil {
 		return // plane off at this node (never scheduled network-wide off)
 	}
-	pkt, err := wire.DecodePacket(body)
+	pkt, err := n.recDec.Decode(body)
 	if err != nil {
 		n.net.ctrlDropped++
 		return
@@ -58,10 +58,13 @@ func (n *Node) handleRecommend(body []byte) {
 		}
 		n.recSeen[m.Originator] = m.Seq
 		if n.Rep != nil {
-			entries := make([]reputation.Entry, 0, len(rec.Entries))
+			// Ingest copies what it keeps, so the scratch entries (like the
+			// arena-decoded rec itself) are safe to reuse next reception.
+			entries := n.entScratch[:0]
 			for _, e := range rec.Entries {
 				entries = append(entries, reputation.Entry{About: e.About, Trust: e.TrustValue()})
 			}
+			n.entScratch = entries
 			n.Rep.Ingest(m.Originator, entries, n.net.Sched.Now())
 			n.net.ctrlDelivered++
 		}
@@ -84,7 +87,8 @@ func (n *Node) gossipRecommend() {
 		entries = n.Recommender.Vector(n.net.Sched.Now())
 	}
 	if entries == nil && n.Rep != nil {
-		entries = n.Rep.BuildVector()
+		entries = n.Rep.AppendVector(n.entScratch[:0])
+		n.entScratch = entries
 	}
 	if len(entries) == 0 {
 		return

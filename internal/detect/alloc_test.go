@@ -1,0 +1,26 @@
+package detect
+
+import "testing"
+
+// TestAllocCeilingFinalize pins the cost of one full investigation round
+// — open, interrogate five responders, aggregate Eq. 8, finalize — on a
+// warm detector. The ceiling covers the test fixture's own allocations
+// (the fake router clones sets per query), so it is far above zero; what
+// it guards is the order of magnitude: a per-reply or per-observation
+// allocation sneaking back into the round path multiplies it.
+func TestAllocCeilingFinalize(t *testing.T) {
+	sc := newScenario(t, honestAdvertisement(), nil)
+	// Warm one round end to end: first contact grows the trust slab, the
+	// suspect cell, and the report slice.
+	sc.det.OpenInvestigation(sc.suspect, "warmup")
+	sc.sched.Run()
+
+	const ceiling = 400
+	got := testing.AllocsPerRun(20, func() {
+		sc.det.OpenInvestigation(sc.suspect, "alloc")
+		sc.sched.Run()
+	})
+	if got > ceiling {
+		t.Errorf("investigation round: %.1f allocs/run, ceiling %d", got, ceiling)
+	}
+}

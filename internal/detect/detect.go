@@ -17,7 +17,7 @@
 package detect
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -283,6 +283,21 @@ type investigation struct {
 	deadline *sim.Event
 }
 
+// suspectCell is the per-suspect detector state. Cells live in a dense
+// slab indexed by the run's node index (shared with the trust store)
+// instead of seven parallel map[addr.Node] tables — every alert, reply
+// and finalize resolves its suspect with one slot lookup.
+type suspectCell struct {
+	open       *investigation
+	verdict    trust.Verdict
+	hasVerdict bool
+	samples    []float64         // cumulative CI evidence
+	noInfo     addr.Set          // responders that abstained
+	timeouts   map[addr.Node]int // responder -> missed rounds
+	hintLinks  addr.Set          // omitted endpoints from alerts
+	lastRound  int               // highest finalized round
+}
+
 // Detector is one node's intrusion detector.
 type Detector struct {
 	cfg       Config
@@ -294,14 +309,9 @@ type Detector struct {
 	transport Transport
 
 	nextReqID      uint64
-	open           map[addr.Node]*investigation
-	verdicts       map[addr.Node]trust.Verdict
-	samples        map[addr.Node][]float64         // cumulative CI evidence per suspect
-	noInfo         map[addr.Node]addr.Set          // suspect -> responders that abstained
-	timeouts       map[addr.Node]map[addr.Node]int // suspect -> responder -> missed rounds
-	hintLinks      map[addr.Node]addr.Set          // suspect -> omitted endpoints from alerts
-	lastRound      map[addr.Node]int               // suspect -> highest finalized round
-	tainted        addr.Set                        // nodes caught forging evidence
+	ix             *addr.Index   // the trust store's node index
+	cells          []suspectCell // per-suspect state, by index slot
+	tainted        addr.Set      // nodes caught forging evidence
 	reports        []Report
 	alerts         []signature.Alert
 	parseSkipped   int
@@ -309,6 +319,30 @@ type Detector struct {
 	proofFailures  uint64
 	ticker         *sim.Ticker
 	investigations uint64
+
+	// Scan scratch, reused across ticks.
+	recScratch []auditlog.Record
+	evScratch  []logevent.Event
+}
+
+// cell returns suspect n's state, assigning an index slot on first
+// contact.
+func (d *Detector) cell(n addr.Node) *suspectCell {
+	slot := d.ix.Assign(n)
+	if slot >= len(d.cells) {
+		d.cells = append(d.cells, make([]suspectCell, slot+1-len(d.cells))...)
+	}
+	return &d.cells[slot]
+}
+
+// peek returns n's cell when one may exist, without growing the slab.
+// The zero cell is never observable through it: callers treat nil as
+// "no recorded state", matching a missing map entry.
+func (d *Detector) peek(n addr.Node) *suspectCell {
+	if slot, ok := d.ix.Slot(n); ok && slot < len(d.cells) {
+		return &d.cells[slot]
+	}
+	return nil
 }
 
 // maxCISamples bounds the cumulative evidence kept per suspect for the
@@ -336,13 +370,7 @@ func NewDetector(
 		engine:    signature.NewEngine(signature.Catalog(signature.DefaultCatalogConfig(cfg.Self))...),
 		store:     store,
 		transport: transport,
-		open:      make(map[addr.Node]*investigation),
-		verdicts:  make(map[addr.Node]trust.Verdict),
-		samples:   make(map[addr.Node][]float64),
-		noInfo:    make(map[addr.Node]addr.Set),
-		timeouts:  make(map[addr.Node]map[addr.Node]int),
-		hintLinks: make(map[addr.Node]addr.Set),
-		lastRound: make(map[addr.Node]int),
+		ix:        store.Index(),
 		tainted:   make(addr.Set),
 	}
 }
@@ -381,8 +409,11 @@ func (d *Detector) Alerts() []signature.Alert {
 
 // Verdict returns the most recent verdict about n.
 func (d *Detector) Verdict(n addr.Node) (trust.Verdict, bool) {
-	v, ok := d.verdicts[n]
-	return v, ok
+	if c := d.peek(n); c != nil && c.hasVerdict {
+		return c.verdict, true
+	}
+	var none trust.Verdict
+	return none, false
 }
 
 // InvestigationCount returns how many investigation rounds were opened.
@@ -400,8 +431,9 @@ func (d *Detector) ProofFailures() uint64 { return d.proofFailures }
 // Scan reads the new audit records, runs the signature engine, and opens
 // investigations for fresh alerts.
 func (d *Detector) Scan() {
-	recs := d.cursor.Read()
-	events, skipped := logevent.ParseAll(recs)
+	d.recScratch = d.cursor.ReadInto(d.recScratch[:0])
+	events, skipped := logevent.ParseAllInto(d.evScratch[:0], d.recScratch)
+	d.evScratch = events
 	d.parseSkipped += skipped
 	alerts := d.engine.Feed(events, d.sched.Now())
 	d.alerts = append(d.alerts, alerts...)
@@ -419,10 +451,11 @@ func (d *Detector) handleAlert(a signature.Alert) {
 		// keep verifying it after the protocol state has expired.
 		for _, ev := range a.Events {
 			if td, ok := ev.(*logevent.TwoHopDown); ok {
-				if d.hintLinks[a.Subject] == nil {
-					d.hintLinks[a.Subject] = make(addr.Set)
+				c := d.cell(a.Subject)
+				if c.hintLinks == nil {
+					c.hintLinks = make(addr.Set)
 				}
-				d.hintLinks[a.Subject].Add(td.TwoHop)
+				c.hintLinks.Add(td.TwoHop)
 			}
 		}
 		d.OpenInvestigation(a.Subject, a.Rule)
@@ -451,19 +484,20 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 	if suspect == d.cfg.Self {
 		return
 	}
-	if _, busy := d.open[suspect]; busy {
-		return
+	c := d.cell(suspect)
+	if c.open != nil {
+		return // busy
 	}
 	if d.tainted.Has(suspect) {
 		return // convicted by forged evidence; nothing left to establish
 	}
-	if v, done := d.verdicts[suspect]; done && v != trust.Unrecognized {
+	if c.hasVerdict && c.verdict != trust.Unrecognized {
 		return // settled
 	}
 	inv := &investigation{
 		suspect: suspect,
 		trigger: trigger,
-		round:   d.roundOf(suspect) + 1,
+		round:   c.lastRound + 1,
 		adv:     make(map[addr.Node]bool),
 		pending: make(map[uint64]VerifyRequest),
 	}
@@ -476,12 +510,12 @@ func (d *Detector) OpenInvestigation(suspect addr.Node, trigger string) {
 	if len(links) == 0 {
 		// Nothing concrete to verify: the suspect's advertisement matches
 		// the local view entirely. Record a clean round.
-		d.open[suspect] = inv
+		c.open = inv
 		d.finalize(inv)
 		return
 	}
 	inv.links = links
-	d.open[suspect] = inv
+	c.open = inv
 
 	avoid := []addr.Node{suspect}
 	for _, link := range links {
@@ -553,11 +587,14 @@ func (d *Detector) ReportDishonestRecommender(node addr.Node, detail string) {
 }
 
 // roundOf returns the highest finalized round about suspect. It reads
-// the per-suspect index maintained by finalize — scanning d.reports here
+// the per-suspect cell maintained by finalize — scanning d.reports here
 // made every new investigation O(total reports ever filed), which turned
 // long multi-suspect runs quadratic (BenchmarkRoundOf pins the fix).
 func (d *Detector) roundOf(suspect addr.Node) int {
-	return d.lastRound[suspect]
+	if c := d.peek(suspect); c != nil {
+		return c.lastRound
+	}
+	return 0
 }
 
 // suspiciousLinks compares the suspect's advertised symmetric neighborhood
@@ -628,10 +665,12 @@ func (d *Detector) suspiciousLinks(suspect addr.Node, inv *investigation) []addr
 	// dropped endpoint even after its protocol state expired. No local
 	// evidence here — once the live contradiction is gone, only the
 	// endpoint's own testimony counts.
-	for x := range d.hintLinks[suspect] {
-		if x != d.cfg.Self && !advertised.Has(x) && !links.Has(x) {
-			inv.adv[x] = false
-			links.Add(x)
+	if c := d.peek(suspect); c != nil {
+		for x := range c.hintLinks {
+			if x != d.cfg.Self && !advertised.Has(x) && !links.Has(x) {
+				inv.adv[x] = false
+				links.Add(x)
+			}
 		}
 	}
 	return links.Sorted()
@@ -657,8 +696,10 @@ func (d *Detector) respondersFor(suspect, link addr.Node) []addr.Node {
 	resp.Remove(d.cfg.Self)
 	// Skip responders that declared having no basis to judge this suspect
 	// in an earlier round (Algorithm 1 moves on from unhelpful nodes).
-	for x := range d.noInfo[suspect] {
-		resp.Remove(x)
+	if c := d.peek(suspect); c != nil {
+		for x := range c.noInfo {
+			resp.Remove(x)
+		}
 	}
 	// Evidence forgers are out of the witness pool for good.
 	for x := range d.tainted {
@@ -680,13 +721,14 @@ func (d *Detector) respondersFor(suspect, link addr.Node) []addr.Node {
 // next round's aggregate through a recycled suspect entry — request IDs
 // are globally unique exactly so this check is cheap).
 func (d *Detector) HandleReply(rep VerifyReply) {
-	inv, ok := d.open[rep.Suspect]
-	if !ok {
+	c := d.peek(rep.Suspect)
+	if c == nil || c.open == nil {
 		// No open investigation: the round finalized (timeout or early
 		// completion) before this reply arrived.
 		d.lateReplies++
 		return
 	}
+	inv := c.open
 	if _, expected := inv.pending[rep.ID]; !expected {
 		// Duplicate delivery, or a reply to a previous round's request.
 		d.lateReplies++
@@ -702,7 +744,8 @@ func (d *Detector) HandleReply(rep VerifyReply) {
 		case evidenceForged:
 			// The reply contradicts the responder's own sealed history:
 			// discard the testimony and convict the forger on first-hand
-			// cryptographic evidence.
+			// cryptographic evidence. (This may grow the cell slab — c is
+			// stale past this point; inv is heap state and stays valid.)
 			d.proofFailures++
 			d.ReportForgedEvidence(rep.Responder, "reply evidence failed proof verification")
 			if len(inv.pending) == 0 && inv.deadline != nil {
@@ -715,10 +758,10 @@ func (d *Detector) HandleReply(rep VerifyReply) {
 	inv.replies = append(inv.replies, rep)
 	inv.weights = append(inv.weights, weight)
 	if !rep.Answered {
-		if d.noInfo[rep.Suspect] == nil {
-			d.noInfo[rep.Suspect] = make(addr.Set)
+		if c.noInfo == nil {
+			c.noInfo = make(addr.Set)
 		}
-		d.noInfo[rep.Suspect].Add(rep.Responder)
+		c.noInfo.Add(rep.Responder)
 	}
 	if len(inv.pending) == 0 && inv.deadline != nil {
 		inv.deadline.Cancel()
@@ -744,7 +787,8 @@ func (d *Detector) ReportForgedEvidence(node addr.Node, detail string) {
 		At:      d.sched.Now(),
 		Detail:  detail,
 	})
-	round := d.roundOf(node) + 1
+	c := d.cell(node)
+	round := c.lastRound + 1
 	report := Report{
 		At:      d.sched.Now(),
 		Suspect: node,
@@ -758,8 +802,9 @@ func (d *Detector) ReportForgedEvidence(node addr.Node, detail string) {
 		},
 	}
 	d.reports = append(d.reports, report)
-	d.lastRound[node] = round
-	d.verdicts[node] = trust.Intruder
+	c.lastRound = round
+	c.verdict = trust.Intruder
+	c.hasVerdict = true
 	if d.cfg.OnReport != nil {
 		d.cfg.OnReport(report)
 	}
@@ -769,10 +814,11 @@ func (d *Detector) ReportForgedEvidence(node addr.Node, detail string) {
 // compute the confidence interval (Eq. 9), decide (Eq. 10), update trust
 // (Eq. 5) and publish the report.
 func (d *Detector) finalize(inv *investigation) {
-	if d.open[inv.suspect] != inv {
+	c := d.cell(inv.suspect)
+	if c.open != inv {
 		return // already finalized
 	}
-	delete(d.open, inv.suspect)
+	c.open = nil
 
 	obs := make([]trust.Observation, 0, len(inv.replies)+len(inv.pending)+len(inv.local))
 	obs = append(obs, inv.local...)
@@ -805,15 +851,15 @@ func (d *Detector) finalize(inv *investigation) {
 			Trust:    d.trustOf(req.Responder),
 			Evidence: 0,
 		})
-		if d.timeouts[inv.suspect] == nil {
-			d.timeouts[inv.suspect] = make(map[addr.Node]int)
+		if c.timeouts == nil {
+			c.timeouts = make(map[addr.Node]int)
 		}
-		d.timeouts[inv.suspect][req.Responder]++
-		if d.timeouts[inv.suspect][req.Responder] >= 2 {
-			if d.noInfo[inv.suspect] == nil {
-				d.noInfo[inv.suspect] = make(addr.Set)
+		c.timeouts[req.Responder]++
+		if c.timeouts[req.Responder] >= 2 {
+			if c.noInfo == nil {
+				c.noInfo = make(addr.Set)
 			}
-			d.noInfo[inv.suspect].Add(req.Responder)
+			c.noInfo.Add(req.Responder)
 		}
 	}
 	// Total order, not just by Source: a responder interrogated about
@@ -824,17 +870,27 @@ func (d *Detector) finalize(inv *investigation) {
 	// updates in applyVerdict do not commute (Eq. 5 interleaves α·e with
 	// the β decay) — so an underspecified sort here makes whole runs
 	// irreproducible.
-	sort.Slice(obs, func(i, j int) bool {
-		if obs[i].Source != obs[j].Source {
-			return obs[i].Source < obs[j].Source
+	slices.SortFunc(obs, func(a, b trust.Observation) int {
+		switch {
+		case a.Source != b.Source && a.Source < b.Source:
+			return -1
+		case a.Source != b.Source:
+			return 1
+		case a.Evidence != b.Evidence && a.Evidence < b.Evidence:
+			return -1
+		case a.Evidence != b.Evidence:
+			return 1
+		case a.Trust != b.Trust && a.Trust < b.Trust:
+			return -1
+		case a.Trust != b.Trust:
+			return 1
+		case a.Weight < b.Weight:
+			return -1
+		case a.Weight > b.Weight:
+			return 1
+		default:
+			return 0
 		}
-		if obs[i].Evidence != obs[j].Evidence {
-			return obs[i].Evidence < obs[j].Evidence
-		}
-		if obs[i].Trust != obs[j].Trust {
-			return obs[i].Trust < obs[j].Trust
-		}
-		return obs[i].Weight < obs[j].Weight
 	})
 
 	detectVal, ok := trust.Detect(obs)
@@ -857,14 +913,17 @@ func (d *Detector) finalize(inv *investigation) {
 			sumT += o.EffTrust()
 		}
 		meanT := sumT / float64(len(obs))
-		hist := d.samples[inv.suspect]
+		hist := c.samples
 		for _, o := range obs {
 			hist = append(hist, o.EffTrust()*o.Evidence/meanT)
 		}
 		if len(hist) > maxCISamples {
-			hist = hist[len(hist)-maxCISamples:]
+			// Shift in place instead of re-slicing so the slab keeps its
+			// backing array once it reaches steady state.
+			keep := copy(hist, hist[len(hist)-maxCISamples:])
+			hist = hist[:keep]
 		}
-		d.samples[inv.suspect] = hist
+		c.samples = hist
 		if civ, err := trust.ConfidenceInterval(hist, d.store.Params().ConfidenceLevel); err == nil {
 			iv = civ
 			verdict = trust.Decide(detectVal, iv.Margin, d.store.Params().Gamma)
@@ -886,13 +945,14 @@ func (d *Detector) finalize(inv *investigation) {
 		Links:        inv.links,
 	}
 	d.reports = append(d.reports, report)
-	if inv.round > d.lastRound[inv.suspect] {
-		d.lastRound[inv.suspect] = inv.round
+	if inv.round > c.lastRound {
+		c.lastRound = inv.round
 	}
 	// A forged-evidence conviction landed mid-round outranks any
 	// testimony aggregate — cryptographic first-hand evidence is final.
 	if !d.tainted.Has(inv.suspect) {
-		d.verdicts[inv.suspect] = verdict
+		c.verdict = verdict
+		c.hasVerdict = true
 	}
 	if d.cfg.OnReport != nil {
 		d.cfg.OnReport(report)

@@ -287,9 +287,9 @@ func BenchmarkRoundOf(b *testing.B) {
 	// A long run's worth of history: 20k reports over 200 suspects.
 	for i := 0; i < 20000; i++ {
 		s := addr.NodeAt(2 + i%200)
-		round := det.lastRound[s] + 1
-		det.reports = append(det.reports, Report{Suspect: s, Round: round})
-		det.lastRound[s] = round
+		c := det.cell(s)
+		c.lastRound++
+		det.reports = append(det.reports, Report{Suspect: s, Round: c.lastRound})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

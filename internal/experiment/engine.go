@@ -18,7 +18,38 @@ import (
 	"sync/atomic"
 
 	"repro/internal/scenario"
+	"repro/internal/trust"
 )
+
+// Arena is per-worker scratch memory (DESIGN.md §10): each pool worker
+// owns one, and every task it claims reuses the same buffers instead of
+// reallocating them trial after trial. Nothing handed out by an Arena
+// may be retained past the task that requested it — the next trial on
+// the same worker overwrites it. Determinism is unaffected: arenas hold
+// no values across tasks (every getter returns a length-zero or fully
+// overwritten slice), only capacity.
+type Arena struct {
+	obs     []trust.Observation
+	samples []float64
+}
+
+// Observations returns an empty observation buffer with capacity for at
+// least n entries.
+func (a *Arena) Observations(n int) []trust.Observation {
+	if cap(a.obs) < n {
+		a.obs = make([]trust.Observation, 0, n)
+	}
+	return a.obs[:0]
+}
+
+// Samples returns an empty float64 buffer with capacity for at least n
+// entries.
+func (a *Arena) Samples(n int) []float64 {
+	if cap(a.samples) < n {
+		a.samples = make([]float64, 0, n)
+	}
+	return a.samples[:0]
+}
 
 // DeriveSeed maps a task's coordinates to an independent RNG seed. The
 // implementation lives in internal/scenario (the scenario builder derives
@@ -75,6 +106,15 @@ func (r *Runner) TaskSeed(sweep string, point, trial int) int64 {
 // their own index and every task is self-seeded, scheduling order cannot
 // influence the output.
 func mapTasks[T any](workers, n int, fn func(int) T) []T {
+	return mapTasksArena(workers, n, func(i int, _ *Arena) T { return fn(i) })
+}
+
+// mapTasksArena is mapTasks with per-worker arenas: each goroutine owns
+// one Arena for its lifetime, so a worker's trials reuse the same
+// scratch buffers back to back. Because results are index-addressed and
+// arenas carry capacity but never values between tasks, the output is
+// still bit-identical for any worker count.
+func mapTasksArena[T any](workers, n int, fn func(int, *Arena) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -83,8 +123,9 @@ func mapTasks[T any](workers, n int, fn func(int) T) []T {
 		workers = n
 	}
 	if workers <= 1 {
+		var a Arena
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = fn(i, &a)
 		}
 		return out
 	}
@@ -94,12 +135,13 @@ func mapTasks[T any](workers, n int, fn func(int) T) []T {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var a Arena
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(i, &a)
 			}
 		}()
 	}

@@ -65,7 +65,14 @@ type Population struct {
 	Initial    map[addr.Node]float64
 	rng        *rand.Rand
 	cfg        Config
+	arena      *Arena
 }
+
+// SetArena points the population at a worker-owned arena so consecutive
+// trials on one worker share round scratch. NewPopulation gives every
+// population a private arena, so calling this is an optimization, never
+// a requirement.
+func (p *Population) SetArena(a *Arena) { p.arena = a }
 
 // NewPopulation builds the scenario: node 1 observes, the last node
 // attacks, the first cfg.Liars responders (chosen by shuffled order) lie.
@@ -85,6 +92,7 @@ func NewPopulation(cfg Config) *Population {
 		Initial:  make(map[addr.Node]float64),
 		rng:      rng,
 		cfg:      cfg,
+		arena:    new(Arena),
 	}
 	for i := 2; i < cfg.Nodes; i++ {
 		p.Responders = append(p.Responders, addr.NodeAt(i))
@@ -111,7 +119,7 @@ func NewPopulation(cfg Config) *Population {
 // The observer's own first-hand observation of the contradiction (trust 1,
 // e = −1) is included per property 5 of §IV-A.
 func (p *Population) Round() float64 {
-	obs := make([]trust.Observation, 0, len(p.Responders)+1)
+	obs := p.arena.Observations(len(p.Responders) + 1)
 	obs = append(obs, trust.Observation{Source: p.Observer, Trust: 1, Evidence: -1})
 	for _, r := range p.Responders {
 		e := -1.0

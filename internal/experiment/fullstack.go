@@ -93,6 +93,10 @@ func (c FullStackConfig) Spec() scenario.Spec {
 		Mobility:  mob,
 		DetectAll: c.DetectAll,
 		Liars:     c.Liars,
+		// Experiment runs take the binary control envelope — the hot-path
+		// codec of DESIGN.md §10. The golden presets keep JSON so every
+		// pinned digest (which counts ctrl payload bytes) stays identical.
+		BinaryCtrl: true,
 		Attacks: []scenario.AttackSpec{{
 			Kind:     "linkspoof",
 			Node:     c.Nodes,

@@ -42,15 +42,16 @@ type ciTrialResult struct {
 }
 
 // ciTrial performs one synthetic evidence draw: honest deny (-1), liars
-// confirm (+1), uniform trusts.
-func ciTrial(rng *rand.Rand, cl float64, n int, liarFrac float64) ciTrialResult {
-	obs := make([]trust.Observation, n)
-	for i := range obs {
+// confirm (+1), uniform trusts. Scratch comes from the worker's arena —
+// nothing drawn here outlives the trial.
+func ciTrial(rng *rand.Rand, a *Arena, cl float64, n int, liarFrac float64) ciTrialResult {
+	obs := a.Observations(n)
+	for i := 0; i < n; i++ {
 		e := -1.0
 		if rng.Float64() < liarFrac {
 			e = 1
 		}
-		obs[i] = trust.Observation{Trust: 0.2 + 0.6*rng.Float64(), Evidence: e}
+		obs = append(obs, trust.Observation{Trust: 0.2 + 0.6*rng.Float64(), Evidence: e})
 	}
 	detectVal, ok := trust.Detect(obs)
 	if !ok {
@@ -61,9 +62,9 @@ func ciTrial(rng *rand.Rand, cl float64, n int, liarFrac float64) ciTrialResult 
 		sumT += o.Trust
 	}
 	meanT := sumT / float64(n)
-	samples := make([]float64, n)
-	for i, o := range obs {
-		samples[i] = o.Trust * o.Evidence / meanT
+	samples := a.Samples(n)
+	for _, o := range obs {
+		samples = append(samples, o.Trust*o.Evidence/meanT)
 	}
 	iv, err := trust.ConfidenceInterval(samples, cl)
 	if err != nil {
@@ -100,10 +101,10 @@ func (r *Runner) CISweep(levels []float64, sizes []int, liarFrac float64) []CIPo
 		}
 	}
 
-	trials := mapTasks(r.workerCount(), len(pts)*ciTrials, func(task int) ciTrialResult {
+	trials := mapTasksArena(r.workerCount(), len(pts)*ciTrials, func(task int, a *Arena) ciTrialResult {
 		pi, trial := task/ciTrials, task%ciTrials
 		rng := rand.New(rand.NewSource(r.TaskSeed(ciSweepID, pi, trial))) //nolint:gosec // experiment
-		return ciTrial(rng, pts[pi].cl, pts[pi].n, liarFrac)
+		return ciTrial(rng, a, pts[pi].cl, pts[pi].n, liarFrac)
 	})
 
 	out := make([]CIPoint, 0, len(pts))
@@ -184,7 +185,7 @@ func runCIAccumulationAblation(cfg Config) CIAccumulationResult {
 		// expose them, so approximate with the aggregate value repeated
 		// per responder — spread comes from the liar/honest split, which
 		// the sign pattern preserves.
-		roundSamples := make([]float64, 0, len(p.Responders))
+		roundSamples := p.arena.Samples(len(p.Responders))
 		for _, resp := range p.Responders {
 			e := -1.0
 			if p.IsLiar[resp] {
@@ -277,7 +278,7 @@ func ablationUniformArm(cfg Config) []float64 {
 	q := NewPopulation(cfg)
 	vals := make([]float64, 0, cfg.Rounds)
 	for r := 0; r < cfg.Rounds; r++ {
-		obs := make([]trust.Observation, 0, len(q.Responders)+1)
+		obs := q.arena.Observations(len(q.Responders) + 1)
 		obs = append(obs, trust.Observation{Source: q.Observer, Trust: 1, Evidence: -1})
 		for _, resp := range q.Responders {
 			e := -1.0

@@ -258,7 +258,15 @@ func Parse(r auditlog.Record) (Event, error) {
 // returning how many were skipped. The detector treats unparseable records
 // as a substrate bug, not an attack, so they are counted rather than fatal.
 func ParseAll(recs []auditlog.Record) (events []Event, skipped int) {
-	events = make([]Event, 0, len(recs))
+	return ParseAllInto(make([]Event, 0, len(recs)), recs)
+}
+
+// ParseAllInto is ParseAll appending into a caller-owned slice — the
+// detector's scan tick reuses one across polls. Only the slice is
+// reused; the parsed events themselves are freshly allocated (signature
+// rules retain them across feeds).
+func ParseAllInto(events []Event, recs []auditlog.Record) ([]Event, int) {
+	skipped := 0
 	for i := range recs {
 		ev, err := Parse(recs[i])
 		if err != nil {

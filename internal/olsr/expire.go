@@ -36,7 +36,7 @@ func (n *Node) expire() {
 			delete(n.selectors, x)
 			n.ansn++
 			n.log(auditlog.KindMPRSelector,
-				auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+				auditlog.FNodes("selectors", n.selectorsSorted(n.nodeScratch[:0])))
 		}
 	}
 	for last, e := range n.topo {
@@ -82,7 +82,10 @@ func (n *Node) expire() {
 // control traffic that invalidates them, and a read-time table is never
 // *staler* than the old eager snapshot (see routeTable).
 func (n *Node) afterTopologyChange() {
-	sym := n.SymNeighbors()
+	// Compare against the retained sets through scratch; allocate fresh
+	// copies only when something actually changed (the steady state is
+	// "nothing changed", re-derived on every received HELLO and TC).
+	sym := n.fillSymScratch()
 	if !sym.Equal(n.prevSym) {
 		for _, x := range sym.Diff(n.prevSym).Sorted() {
 			n.log(auditlog.KindNeighborUp, auditlog.FNode("neighbor", x))
@@ -90,14 +93,14 @@ func (n *Node) afterTopologyChange() {
 		for _, x := range n.prevSym.Diff(sym).Sorted() {
 			n.log(auditlog.KindNeighborDown, auditlog.FNode("neighbor", x))
 		}
-		n.prevSym = sym
+		n.prevSym = sym.Clone()
 	}
 
-	mprs := n.selectMPRs()
+	mprs := n.selectMPRs() // scratch; invalidates sym above
 	if !mprs.Equal(n.mprs) {
 		added := mprs.Diff(n.mprs)
 		removed := n.mprs.Diff(mprs)
-		n.mprs = mprs
+		n.mprs = mprs.Clone()
 		n.log(auditlog.KindMPRSet,
 			auditlog.FNodes("added", added.Sorted()),
 			auditlog.FNodes("removed", removed.Sorted()),

@@ -1,6 +1,7 @@
 package olsr
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -13,17 +14,22 @@ import (
 // (which drive the RFC's implicit 3-way handshake to symmetry).
 func (n *Node) buildHello() *wire.Hello {
 	now := n.now()
-	var mprN, symN, asymN, lostN []addr.Node
+	// Categorize into the reusable per-category buffers. Link-set keys are
+	// unique, so a plain sort reproduces the old NewSet(...).Sorted().
+	cat := &n.helloCat
+	for i := range cat {
+		cat[i] = cat[i][:0]
+	}
 	for x, lt := range n.links {
 		switch {
 		case lt.symUntil > now && n.mprs.Has(x):
-			mprN = append(mprN, x)
+			cat[0] = append(cat[0], x)
 		case lt.symUntil > now:
-			symN = append(symN, x)
+			cat[1] = append(cat[1], x)
 		case lt.asymUntil > now:
-			asymN = append(asymN, x)
+			cat[2] = append(cat[2], x)
 		case lt.until > now:
-			lostN = append(lostN, x)
+			cat[3] = append(cat[3], x)
 		}
 	}
 	h := &wire.Hello{HTime: n.cfg.HelloInterval, Will: n.cfg.Willingness}
@@ -31,12 +37,13 @@ func (n *Node) buildHello() *wire.Hello {
 		if len(nodes) == 0 {
 			return
 		}
-		h.Links = append(h.Links, wire.LinkBlock{Code: code, Neighbors: addr.NewSet(nodes...).Sorted()})
+		slices.Sort(nodes)
+		h.Links = append(h.Links, wire.LinkBlock{Code: code, Neighbors: nodes})
 	}
-	add(wire.MakeLinkCode(wire.NeighMPR, wire.LinkSym), mprN)
-	add(wire.MakeLinkCode(wire.NeighSym, wire.LinkSym), symN)
-	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkAsym), asymN)
-	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkLost), lostN)
+	add(wire.MakeLinkCode(wire.NeighMPR, wire.LinkSym), cat[0])
+	add(wire.MakeLinkCode(wire.NeighSym, wire.LinkSym), cat[1])
+	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkAsym), cat[2])
+	add(wire.MakeLinkCode(wire.NeighNot, wire.LinkLost), cat[3])
 	return h
 }
 
@@ -48,8 +55,14 @@ func (n *Node) sendHello() {
 		n.hooks.ModifyHello(h)
 	}
 	n.helloTx++
+	// Sort-and-compact over scratch renders the same bytes as
+	// SymNeighbors().Sorted() without materializing the set.
+	syms := h.AppendSymNeighbors(n.nodeScratch[:0])
+	slices.Sort(syms)
+	syms = slices.Compact(syms)
+	n.nodeScratch = syms
 	n.log(auditlog.KindHelloTx,
-		auditlog.FNodes("sym", h.SymNeighbors().Sorted()),
+		auditlog.FNodes("sym", syms),
 		auditlog.FInt("will", int(h.Will)))
 	n.broadcast(wire.Message{
 		VTime:      n.cfg.NeighborHold,
@@ -103,8 +116,16 @@ func (n *Node) processHello(m *wire.Message, h *wire.Hello) {
 		lt.until = lt.symUntil
 	}
 
-	advertised := h.SymNeighbors()
-	n.lastHelloSym[from] = advertised
+	// Reuse the per-sender advertised set: AdvertisedSym clones before
+	// handing it out, so clearing in place is unobservable.
+	advertised := n.lastHelloSym[from]
+	if advertised == nil {
+		advertised = make(addr.Set)
+		n.lastHelloSym[from] = advertised
+	} else {
+		clear(advertised)
+	}
+	h.SymNeighborsInto(advertised)
 
 	// 2-hop set: only populated through symmetric neighbors.
 	if lt.symUntil > now {
@@ -156,18 +177,18 @@ func (n *Node) processHello(m *wire.Message, h *wire.Hello) {
 		if !wasSelector {
 			n.ansn++
 			n.log(auditlog.KindMPRSelector,
-				auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+				auditlog.FNodes("selectors", n.selectorsSorted(n.nodeScratch[:0])))
 		}
 	} else if wasSelector {
 		delete(n.selectors, from)
 		n.ansn++
 		n.log(auditlog.KindMPRSelector,
-			auditlog.FNodes("selectors", n.MPRSelectors().Sorted()))
+			auditlog.FNodes("selectors", n.selectorsSorted(n.nodeScratch[:0])))
 	}
 
 	n.log(auditlog.KindHelloRx,
 		auditlog.FNode("from", from),
-		auditlog.FNodes("sym", advertised.Sorted()),
+		auditlog.FNodes("sym", advertised.AppendSorted(n.nodeScratch[:0])),
 		auditlog.FInt("will", int(h.Will)))
 
 	n.afterTopologyChange()

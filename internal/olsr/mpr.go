@@ -1,7 +1,7 @@
 package olsr
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/addr"
 	"repro/internal/wire"
@@ -12,37 +12,48 @@ import (
 // neighbors. Ties break deterministically (willingness, then reachability,
 // then degree, then lowest address) so identical inputs always produce the
 // same MPR set — a requirement for reproducible experiments.
+//
+// All working state — including the returned MPR set — lives in the
+// node's recalculation scratch; the caller clones the result if it needs
+// to retain it.
 func (n *Node) selectMPRs() addr.Set {
 	now := n.now()
-	sym := n.SymNeighbors()
+	sym := n.fillSymScratch()
 
 	// N: willing symmetric neighbors; candidates for MPR. Convicted nodes
 	// (response action) are treated like WILL_NEVER: never entrusted with
 	// relaying.
-	candidates := make([]addr.Node, 0, len(sym))
+	candidates := n.nodeScratch[:0]
 	for x := range sym {
 		if n.links[x].will != wire.WillNever && !n.excluded.Has(x) {
 			candidates = append(candidates, x)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	slices.Sort(candidates)
+	n.nodeScratch = candidates
 
-	// N2: strict 2-hop neighbors, with the candidate set covering each.
-	covers := make(map[addr.Node][]addr.Node) // 2-hop node -> covering candidates
-	reach := make(map[addr.Node]int)          // candidate -> |N2 coverage|
+	// N2: strict 2-hop neighbors, with per-node coverage counts. Only the
+	// count and (for count==1) the identity of the sole coverer are needed
+	// downstream, so no per-node coverer lists are built.
+	clear(n.coverCount)
+	clear(n.soleCover)
+	clear(n.reachCount)
 	for _, via := range candidates {
 		for b, until := range n.twoHop[via] {
 			if until <= now || b == n.cfg.Addr || sym.Has(b) {
 				continue
 			}
-			covers[b] = append(covers[b], via)
-			reach[via]++
+			n.coverCount[b]++
+			n.soleCover[b] = via
+			n.reachCount[via]++
 		}
 	}
 
-	mprs := make(addr.Set)
-	uncovered := make(addr.Set)
-	for b := range covers {
+	mprs := n.mprScratch
+	clear(mprs)
+	uncovered := n.uncovScratch
+	clear(uncovered)
+	for b := range n.coverCount {
 		uncovered.Add(b)
 	}
 
@@ -61,11 +72,14 @@ func (n *Node) selectMPRs() addr.Set {
 			markCovered(x)
 		}
 	}
-	// Step 2: neighbors that are the sole cover of some 2-hop node.
-	for _, b := range uncovered.Sorted() {
-		if cs := covers[b]; len(cs) == 1 && !mprs.Has(cs[0]) {
-			mprs.Add(cs[0])
-			markCovered(cs[0])
+	// Step 2: neighbors that are the sole cover of some 2-hop node. The
+	// iteration order is a snapshot taken after step 1, exactly as the
+	// original map-backed pass did.
+	n.viaScratch = uncovered.AppendSorted(n.viaScratch[:0])
+	for _, b := range n.viaScratch {
+		if n.coverCount[b] == 1 && !mprs.Has(n.soleCover[b]) {
+			mprs.Add(n.soleCover[b])
+			markCovered(n.soleCover[b])
 		}
 	}
 	// Step 3: greedy max-coverage until all of N2 is covered.
@@ -85,7 +99,7 @@ func (n *Node) selectMPRs() addr.Set {
 			if count == 0 {
 				continue
 			}
-			if best == addr.None || betterMPR(n, x, count, best, bestCount, reach) {
+			if best == addr.None || betterMPR(n, x, count, best, bestCount, n.reachCount) {
 				best, bestCount = x, count
 			}
 		}

@@ -17,7 +17,7 @@
 package olsr
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -162,7 +162,21 @@ type Node struct {
 	pktSeq  uint16
 	started bool
 	tickers []*sim.Ticker
-	encBuf  []byte // packet encode scratch, reused across emissions
+	encBuf  []byte       // packet encode scratch, reused across emissions
+	dec     wire.Decoder // packet decode arena, reused across receptions
+
+	// Recalculation scratch, reused across protocol events so the
+	// steady-state receive path allocates nothing. Each is valid only
+	// within one call; nothing here is ever retained or returned.
+	symScratch   addr.Set                // cleared per use
+	nodeScratch  []addr.Node             // sorted-render / candidate scratch
+	viaScratch   []addr.Node             // second node list live at the same time
+	coverCount   map[addr.Node]int       // 2-hop node -> # covering candidates
+	soleCover    map[addr.Node]addr.Node // 2-hop node -> its only coverer
+	reachCount   map[addr.Node]int       // candidate -> |N2 coverage|
+	uncovScratch addr.Set
+	mprScratch   addr.Set       // selectMPRs result; cloned only on change
+	helloCat     [4][]addr.Node // HELLO link-block categories
 
 	// Stats for the overhead experiments.
 	helloTx, tcTx, tcFwd, msgRx, msgDrop uint64
@@ -195,6 +209,12 @@ func New(cfg Config, sched *sim.Scheduler, send func([]byte), logb *auditlog.Buf
 		routes:       make(map[addr.Node]Route),
 		prevSym:      make(addr.Set),
 		excluded:     make(addr.Set),
+		symScratch:   make(addr.Set),
+		coverCount:   make(map[addr.Node]int),
+		soleCover:    make(map[addr.Node]addr.Node),
+		reachCount:   make(map[addr.Node]int),
+		uncovScratch: make(addr.Set),
+		mprScratch:   make(addr.Set),
 	}
 }
 
@@ -301,6 +321,49 @@ func (n *Node) SymNeighbors() addr.Set {
 	return out
 }
 
+// SymNeighborsSorted appends the current symmetric neighbors to out in
+// ascending address order and returns the extended slice — the
+// allocation-free variant of SymNeighbors().Sorted() for hot callers.
+func (n *Node) SymNeighborsSorted(out []addr.Node) []addr.Node {
+	start := len(out)
+	now := n.now()
+	for x, lt := range n.links {
+		if lt.symUntil > now {
+			out = append(out, x)
+		}
+	}
+	slices.Sort(out[start:])
+	return out
+}
+
+// fillSymScratch rebuilds the reusable symmetric-neighbor set. The
+// returned set is scratch: valid until the next fillSymScratch call,
+// never to be retained.
+func (n *Node) fillSymScratch() addr.Set {
+	clear(n.symScratch)
+	now := n.now()
+	for x, lt := range n.links {
+		if lt.symUntil > now {
+			n.symScratch.Add(x)
+		}
+	}
+	return n.symScratch
+}
+
+// selectorsSorted appends the current MPR selectors to out in ascending
+// address order — the scratch-friendly MPRSelectors().Sorted().
+func (n *Node) selectorsSorted(out []addr.Node) []addr.Node {
+	start := len(out)
+	now := n.now()
+	for x, until := range n.selectors {
+		if until > now {
+			out = append(out, x)
+		}
+	}
+	slices.Sort(out[start:])
+	return out
+}
+
 // IsSymNeighbor reports whether x is currently a symmetric neighbor. This
 // is the primitive a node uses to answer a link-verification request
 // about itself during a cooperative investigation.
@@ -341,6 +404,14 @@ func (n *Node) CoverOf(via addr.Node) addr.Set {
 		}
 	}
 	return out
+}
+
+// Covers reports whether the symmetric neighbor via has advertised dest
+// as its own symmetric neighbor — CoverOf(via).Has(dest) without
+// materializing the set, for per-hop routing decisions.
+func (n *Node) Covers(via, dest addr.Node) bool {
+	until, ok := n.twoHop[via][dest]
+	return ok && until > n.now()
 }
 
 // AdvertisedSym returns the symmetric-neighbor set most recently advertised
@@ -401,7 +472,16 @@ func (n *Node) Routes() []Route {
 	for _, r := range table {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dest < out[j].Dest })
+	slices.SortFunc(out, func(a, b Route) int {
+		switch {
+		case a.Dest < b.Dest:
+			return -1
+		case a.Dest > b.Dest:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 
@@ -441,11 +521,16 @@ func (n *Node) TopologyLinks() [][2]addr.Node {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]addr.Node) int {
+		for i := range a {
+			switch {
+			case a[i] < b[i]:
+				return -1
+			case a[i] > b[i]:
+				return 1
+			}
 		}
-		return out[i][1] < out[j][1]
+		return 0
 	})
 	return out
 }
@@ -463,7 +548,7 @@ func (n *Node) Stats() Stats {
 // HandlePacket ingests a received OLSR packet. sender is the link-layer
 // previous hop (not necessarily the originator of the contained messages).
 func (n *Node) HandlePacket(sender addr.Node, data []byte) {
-	pkt, err := wire.DecodePacket(data)
+	pkt, err := n.dec.Decode(data)
 	if err != nil {
 		n.log(auditlog.KindBadPacket, auditlog.FNode("from", sender), auditlog.F("reason", "decode"))
 		return

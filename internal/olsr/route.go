@@ -1,7 +1,7 @@
 package olsr
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/addr"
 )
@@ -11,23 +11,37 @@ import (
 // covering neighbor, then iterative extension through the TC-learned
 // topology set. Iteration order is sorted throughout so route selection is
 // deterministic under ties.
+//
+// Working lists live in the node's scratch buffers; only the returned
+// route map is freshly allocated (retained as n.routes).
 func (n *Node) calculateRoutes() map[addr.Node]Route {
 	now := n.now()
 	routes := make(map[addr.Node]Route)
-	sym := n.SymNeighbors()
+	sym := n.fillSymScratch()
 
-	for _, x := range sym.Sorted() {
+	symSorted := sym.AppendSorted(n.nodeScratch[:0])
+	n.nodeScratch = symSorted
+	for _, x := range symSorted {
 		routes[x] = Route{Dest: x, NextHop: x, Hops: 1}
 	}
 
 	// Strict 2-hop destinations, preferring MPR relays, then lower address.
-	vias := sym.Sorted()
-	sort.SliceStable(vias, func(i, j int) bool {
-		mi, mj := n.mprs.Has(vias[i]), n.mprs.Has(vias[j])
-		if mi != mj {
-			return mi
+	vias := append(n.viaScratch[:0], symSorted...)
+	n.viaScratch = vias
+	slices.SortStableFunc(vias, func(a, b addr.Node) int {
+		ma, mb := n.mprs.Has(a), n.mprs.Has(b)
+		switch {
+		case ma != mb && ma:
+			return -1
+		case ma != mb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
 		}
-		return vias[i] < vias[j]
 	})
 	for _, via := range vias {
 		for b, until := range n.twoHop[via] {
@@ -41,12 +55,15 @@ func (n *Node) calculateRoutes() map[addr.Node]Route {
 		}
 	}
 
-	// Extend through the topology set, one hop count at a time.
-	topoLasts := make([]addr.Node, 0, len(n.topo))
+	// Extend through the topology set, one hop count at a time. symSorted
+	// is dead past this point, so topoLasts reclaims its buffer; the inner
+	// per-entry destination list reclaims the vias buffer the same way.
+	topoLasts := n.nodeScratch[:0]
 	for last := range n.topo {
 		topoLasts = append(topoLasts, last)
 	}
-	sort.Slice(topoLasts, func(i, j int) bool { return topoLasts[i] < topoLasts[j] })
+	slices.Sort(topoLasts)
+	n.nodeScratch = topoLasts
 
 	for h := 2; ; h++ {
 		added := false
@@ -56,13 +73,14 @@ func (n *Node) calculateRoutes() map[addr.Node]Route {
 				continue
 			}
 			e := n.topo[last]
-			dests := make([]addr.Node, 0, len(e.dests))
+			dests := n.viaScratch[:0]
 			for d, until := range e.dests {
 				if until > now {
 					dests = append(dests, d)
 				}
 			}
-			sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+			slices.Sort(dests)
+			n.viaScratch = dests
 			for _, d := range dests {
 				if d == n.cfg.Addr {
 					continue

@@ -1,6 +1,7 @@
 package olsr
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -70,10 +71,16 @@ func (n *Node) processTC(sender addr.Node, m *wire.Message, tc *wire.TC) {
 		}
 	}
 
+	// Sorted-unique render of the advertised list (an attacker's TC may
+	// carry duplicates), equivalent to NewSet(...).Sorted() without the
+	// per-message set.
+	adv := append(n.nodeScratch[:0], tc.Advertised...)
+	slices.Sort(adv)
+	n.nodeScratch = adv
 	n.log(auditlog.KindTCRx,
 		auditlog.FNode("orig", m.Originator),
 		auditlog.FInt("ansn", int(tc.ANSN)),
-		auditlog.FNodes("adv", addr.NewSet(tc.Advertised...).Sorted()))
+		auditlog.FNodes("adv", slices.Compact(adv)))
 
 	n.afterTopologyChange()
 }

@@ -154,6 +154,12 @@ type Medium struct {
 
 	downCount int // stations currently marked down
 
+	// pool recycles the per-delivery argument structs handed to
+	// sim.AfterCall, so a broadcast fan-out schedules its events without
+	// allocating (one pooled event + one pooled argument per receiver;
+	// the event count the scenario digests pin is untouched).
+	pool []*delivery
+
 	// Spatial index (nil cells map when running the reference scan).
 	cells       map[geo.Cell][]*station
 	cellSide    float64
@@ -328,12 +334,10 @@ func (m *Medium) Send(from, to addr.Node, payload []byte) {
 		}
 		m.stats.FramesDelivered++
 		m.stats.BytesDelivered += uint64(len(frame.Payload))
-		m.sched.After(delay, func() {
-			if dst.down || dst.handler == nil {
-				return
-			}
-			dst.handler(frame)
-		})
+		dv := m.newDelivery()
+		dv.dst = dst
+		dv.frame = frame
+		m.sched.AfterCall(delay, runDelivery, dv)
 	}
 
 	if to == addr.Broadcast {
@@ -369,6 +373,44 @@ func (m *Medium) Send(from, to addr.Node, payload []byte) {
 	if dst, ok := m.stations[to]; ok && !dst.down {
 		deliver(dst)
 	}
+}
+
+// delivery carries one scheduled frame handoff; instances cycle through
+// Medium.pool instead of being closure-allocated per receiver.
+type delivery struct {
+	m     *Medium
+	dst   *station
+	frame Frame
+}
+
+// newDelivery takes a recycled delivery or makes one.
+func (m *Medium) newDelivery() *delivery {
+	if n := len(m.pool); n > 0 {
+		dv := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return dv
+	}
+	return &delivery{m: m}
+}
+
+// runDelivery is the static sim.AfterCall trampoline: hand the frame to
+// the receiver (unless it powered down meanwhile) and recycle the
+// argument struct. Fields are copied out before the handler runs so the
+// handler's own sends may reuse the struct immediately.
+func runDelivery(a any) {
+	dv, ok := a.(*delivery)
+	if !ok {
+		return
+	}
+	m, dst, frame := dv.m, dv.dst, dv.frame
+	dv.dst = nil
+	dv.frame = Frame{}
+	m.pool = append(m.pool, dv)
+	if dst.down || dst.handler == nil {
+		return
+	}
+	dst.handler(frame)
 }
 
 // --- spatial index maintenance ---

@@ -26,7 +26,7 @@ package reputation
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/addr"
@@ -80,9 +80,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// received is one accepted recommendation: the reported trust and when it
-// arrived.
+// received is one accepted recommendation: who reported it, the reported
+// trust, and when it arrived. Rows keep their entries sorted by
+// recommender, which is both the lookup structure and the deterministic
+// iteration order BootstrapTrust needs (the map-backed table had to sort
+// on every bootstrap).
 type received struct {
+	from  addr.Node
 	trust float64
 	at    time.Duration
 }
@@ -109,11 +113,18 @@ type Ledger struct {
 	direct *trust.Store
 	rec    *trust.Store // R(A,S): trust in S as a recommender
 
-	// table maps subject -> recommender -> the latest accepted report.
-	table map[addr.Node]map[addr.Node]received
+	// rows holds the latest accepted report per (subject, recommender):
+	// the outer slice is dense over the run's node index (shared with the
+	// direct store), each row sorted by recommender.
+	ix   *addr.Index
+	rows [][]received
 
 	badVectors map[addr.Node]int // majority-failed vectors per recommender
 	flagged    addr.Set
+
+	// Scratch reused across calls; never retained or returned.
+	recsScratch []trust.Recommendation
+	nodeScratch []addr.Node
 
 	// OnDishonest, when set, observes each recommender whose gossip
 	// failed the deviation test DishonestAfter times (fired once per
@@ -132,11 +143,21 @@ func NewLedger(self addr.Node, direct *trust.Store, cfg Config) *Ledger {
 		self:       self,
 		cfg:        cfg.withDefaults(),
 		direct:     direct,
-		rec:        trust.NewStore(direct.Params()),
-		table:      make(map[addr.Node]map[addr.Node]received),
+		rec:        trust.NewStoreIndexed(direct.Params(), direct.Index()),
+		ix:         direct.Index(),
 		badVectors: make(map[addr.Node]int),
 		flagged:    make(addr.Set),
 	}
+}
+
+// row returns subject's report row, assigning an index slot on first
+// contact.
+func (l *Ledger) row(subject addr.Node) *[]received {
+	slot := l.ix.Assign(subject)
+	if slot >= len(l.rows) {
+		l.rows = append(l.rows, make([][]received, slot+1-len(l.rows))...)
+	}
+	return &l.rows[slot]
 }
 
 // Stats returns the cumulative counters.
@@ -165,16 +186,24 @@ type Entry struct {
 // testimony and let one dishonest vector echo through the network under
 // honest recommenders' standing.
 func (l *Ledger) BuildVector() []Entry {
-	nodes := l.direct.Nodes() // sorted
-	out := make([]Entry, 0, min(len(nodes), l.cfg.MaxEntries))
-	for _, n := range nodes {
+	return l.AppendVector(nil)
+}
+
+// AppendVector is BuildVector appending into a caller-owned slice — the
+// gossip tick reuses one across emissions instead of allocating a vector
+// per period.
+func (l *Ledger) AppendVector(out []Entry) []Entry {
+	l.nodeScratch = l.direct.NodesInto(l.nodeScratch[:0]) // sorted
+	appended := 0
+	for _, n := range l.nodeScratch {
 		if n == l.self || !l.direct.FirstHand(n) {
 			continue
 		}
-		if len(out) >= l.cfg.MaxEntries {
+		if appended >= l.cfg.MaxEntries {
 			break
 		}
 		out = append(out, Entry{About: n, Trust: l.direct.Get(n)})
+		appended++
 	}
 	return out
 }
@@ -210,12 +239,22 @@ func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duratio
 			passed++
 		}
 		l.stats.Accepted++
-		m := l.table[e.About]
-		if m == nil {
-			m = make(map[addr.Node]received)
-			l.table[e.About] = m
+		row := l.row(e.About)
+		i, found := slices.BinarySearchFunc(*row, recommender, func(r received, n addr.Node) int {
+			switch {
+			case r.from < n:
+				return -1
+			case r.from > n:
+				return 1
+			default:
+				return 0
+			}
+		})
+		if found {
+			(*row)[i].trust, (*row)[i].at = e.Trust, now
+		} else {
+			*row = slices.Insert(*row, i, received{from: recommender, trust: e.Trust, at: now})
 		}
-		m[recommender] = received{trust: e.Trust, at: now}
 	}
 	if l.cfg.NoFilter || passed+failed == 0 {
 		return // nothing testable: the recommender's standing is unchanged
@@ -249,26 +288,23 @@ func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duratio
 // recommendation mass ΣR below MinMass — leaving the caller on the cold
 // default.
 func (l *Ledger) BootstrapTrust(subject addr.Node, now time.Duration) (float64, bool) {
-	m := l.table[subject]
-	if len(m) == 0 {
+	slot, ok := l.ix.Slot(subject)
+	if !ok || slot >= len(l.rows) || len(l.rows[slot]) == 0 {
 		return 0, false
 	}
-	recommenders := make([]addr.Node, 0, len(m))
-	for s := range m {
-		recommenders = append(recommenders, s)
-	}
-	sort.Slice(recommenders, func(i, j int) bool { return recommenders[i] < recommenders[j] })
-	recs := make([]trust.Recommendation, 0, len(recommenders))
+	// The row is already sorted by recommender — the iteration order the
+	// map-backed table had to re-derive with a sort per bootstrap.
+	recs := l.recsScratch[:0]
 	var mass float64
-	for _, s := range recommenders {
-		r := m[s]
+	for _, r := range l.rows[slot] {
 		if now-r.at > l.cfg.Freshness {
 			continue // stale opinion (property 4)
 		}
-		rec := trust.Recommendation{R: l.rec.Get(s), T: r.trust}
+		rec := trust.Recommendation{R: l.rec.Get(r.from), T: r.trust}
 		mass += rec.R
 		recs = append(recs, rec)
 	}
+	l.recsScratch = recs
 	if len(recs) == 0 || mass < l.cfg.MinMass {
 		return 0, false
 	}

@@ -102,6 +102,7 @@ func Build(spec Spec) (*Built, error) {
 		Seed:       spec.Seed,
 		Evidence:   evidence,
 		Reputation: repCfg,
+		BinaryCtrl: spec.BinaryCtrl,
 		Radio: radio.Config{
 			Prop:      spec.radioProp(),
 			PropDelay: spec.Radio.PropDelay.D(),

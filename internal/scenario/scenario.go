@@ -269,6 +269,10 @@ type Spec struct {
 	Evidence *EvidenceSpec `json:"evidence,omitempty"`
 	// Reputation enables recommendation gossip and trust propagation.
 	Reputation *ReputationSpec `json:"reputation,omitempty"`
+	// BinaryCtrl switches the control-plane envelope to the binary
+	// codec (core.Config.BinaryCtrl). Off by default: the JSON envelope
+	// is what the golden corpus's byte counts pin.
+	BinaryCtrl bool `json:"binaryCtrl,omitempty"`
 	// Attacks is the adversary mix.
 	Attacks []AttackSpec `json:"attacks,omitempty"`
 	// Rounds parameterizes rounds-kind scenarios.

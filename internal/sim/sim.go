@@ -19,8 +19,11 @@ type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
+	fnArg    func(any) // pooled-call form: fnArg(arg) instead of fn()
+	arg      any
 	canceled bool
-	index    int // heap index, -1 once popped
+	pooled   bool // recycled onto the scheduler free list after running
+	index    int  // heap index, -1 once popped
 }
 
 // Cancel prevents the event from running. Canceling an already-run or
@@ -80,6 +83,7 @@ type Scheduler struct {
 	events eventHeap
 	rng    *rand.Rand
 	ran    uint64
+	free   []*Event // recycled AfterCall events
 }
 
 // New returns a scheduler whose random source is seeded with seed.
@@ -132,6 +136,44 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// reAt re-enqueues an event that has already run, keeping its callback.
+// The caller must be the event's only holder and the event must not be
+// pending (index -1). The event draws the sequence number a fresh
+// At call would draw, so ordering is unchanged.
+func (s *Scheduler) reAt(e *Event, t time.Duration) {
+	if t < s.now {
+		t = s.now
+	}
+	e.at, e.seq, e.canceled = t, s.seq, false
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// AfterCall schedules fn(arg) to run d after the current virtual time
+// on a recycled event. It is the allocation-free fast path for bulk
+// schedulers (the radio medium fans one broadcast out to every
+// receiver): no handle is returned, so the call cannot be canceled, and
+// the event object goes back on a free list the moment it has run.
+// Ordering is identical to After — the event draws the same sequence
+// number it would have drawn there.
+func (s *Scheduler) AfterCall(d time.Duration, fn func(any), arg any) {
+	t := s.now + d
+	if t < s.now {
+		t = s.now
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	*e = Event{at: t, seq: s.seq, fnArg: fn, arg: arg, pooled: true}
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
 // Step runs the single earliest pending event. It reports false when the
 // queue is empty.
 func (s *Scheduler) Step() bool {
@@ -145,7 +187,14 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = e.at
 		s.ran++
-		e.fn()
+		if e.pooled {
+			fn, arg := e.fnArg, e.arg
+			*e = Event{}
+			s.free = append(s.free, e)
+			fn(arg)
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false
@@ -183,6 +232,7 @@ type Ticker struct {
 	interval time.Duration
 	jitter   float64
 	fn       func()
+	fireFn   func() // t.fire bound once; a fresh method value per firing allocates
 	next     *Event
 	stopped  bool
 }
@@ -198,7 +248,8 @@ func (s *Scheduler) Every(start, interval time.Duration, jitter float64, fn func
 		jitter = 1
 	}
 	t := &Ticker{s: s, interval: interval, jitter: jitter, fn: fn}
-	t.next = s.After(start, t.fire)
+	t.fireFn = t.fire
+	t.next = s.After(start, t.fireFn)
 	return t
 }
 
@@ -217,7 +268,15 @@ func (t *Ticker) fire() {
 	if d <= 0 {
 		d = 1
 	}
-	t.next = t.s.After(d, t.fire)
+	// The event that carried this firing has been popped (index -1) and
+	// only the ticker ever held it, so re-arm the same object instead of
+	// allocating one per tick. reAt draws a fresh sequence number, so
+	// ordering is identical to a newly created event.
+	if e := t.next; e != nil && e.index == -1 && !e.canceled {
+		t.s.reAt(e, t.s.now+d)
+		return
+	}
+	t.next = t.s.After(d, t.fireFn)
 }
 
 // Stop cancels future firings. It is safe to call more than once and from

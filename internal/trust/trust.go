@@ -13,7 +13,7 @@ package trust
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/addr"
 )
@@ -134,19 +134,65 @@ func (p Params) clamp(v float64) float64 {
 	return math.Max(p.Min, math.Min(p.Max, v))
 }
 
+// Trust-slot states, stored one byte per dense slot (see Store).
+const (
+	slotAbsent    uint8 = iota // no explicit value: Get returns the default
+	slotFirstHand              // explicit value backed by own evidence
+	slotSeeded                 // explicit value seeded from propagated opinion
+)
+
 // Store holds the trust relations one node maintains about others.
+//
+// Values live in a struct-of-arrays layout keyed by the run's dense
+// node index rather than a map: vals[slot] is the trust value and
+// state[slot] distinguishes absent / first-hand / gossip-seeded. Every
+// hot operation (Get, Update, Relax) is array indexing; RelaxAll is a
+// linear slab walk. The seeded mark clears the moment first-hand
+// evidence arrives — see SetSeeded.
 type Store struct {
 	params Params
-	values map[addr.Node]float64
-	// seeded marks values that came from propagated (second-hand) trust
-	// rather than the node's own evidence — see SetSeeded. The mark
-	// clears the moment first-hand evidence arrives.
-	seeded addr.Set
+	// ix maps addresses to slots. It may be shared run-wide (every
+	// store of a run keys the same slot space, NewStoreIndexed) or
+	// owned privately (NewStore); either way assignment order is
+	// deterministic because the simulation is single-threaded.
+	ix    *addr.Index
+	vals  []float64
+	state []uint8
+	known int // slots with state != slotAbsent
 }
 
-// NewStore creates a store with the given parameters.
+// NewStore creates a store with the given parameters and a private
+// node index.
 func NewStore(p Params) *Store {
-	return &Store{params: p, values: make(map[addr.Node]float64), seeded: make(addr.Set)}
+	return NewStoreIndexed(p, addr.NewIndex(0))
+}
+
+// NewStoreIndexed creates a store keyed on a shared run-scoped index,
+// so that every store of a run uses one slot space and one
+// address-to-slot mapping.
+func NewStoreIndexed(p Params, ix *addr.Index) *Store {
+	s := &Store{params: p, ix: ix}
+	s.grow(ix.Len())
+	return s
+}
+
+// Index returns the store's node index (shared or private).
+func (s *Store) Index() *addr.Index { return s.ix }
+
+// grow ensures the slabs cover slots 0..n-1.
+func (s *Store) grow(n int) {
+	if n <= len(s.vals) {
+		return
+	}
+	s.vals = slices.Grow(s.vals, n-len(s.vals))[:n]
+	s.state = slices.Grow(s.state, n-len(s.state))[:n]
+}
+
+// slot returns n's dense slot, assigning one on first write access.
+func (s *Store) slot(n addr.Node) int {
+	sl := s.ix.Assign(n)
+	s.grow(s.ix.Len())
+	return sl
 }
 
 // Params returns the store's parameters.
@@ -154,23 +200,33 @@ func (s *Store) Params() Params { return s.params }
 
 // Get returns the trust in n, or the default for unknown nodes.
 func (s *Store) Get(n addr.Node) float64 {
-	if v, ok := s.values[n]; ok {
-		return v
+	if sl, ok := s.ix.Slot(n); ok && sl < len(s.state) && s.state[sl] != slotAbsent {
+		return s.vals[sl]
 	}
 	return s.params.Default
 }
 
 // Known reports whether n has an explicit trust value.
 func (s *Store) Known(n addr.Node) bool {
-	_, ok := s.values[n]
-	return ok
+	sl, ok := s.ix.Slot(n)
+	return ok && sl < len(s.state) && s.state[sl] != slotAbsent
+}
+
+// setState writes value and state for n's slot, keeping the known
+// count in step.
+func (s *Store) setState(n addr.Node, v float64, st uint8) {
+	sl := s.slot(n)
+	if s.state[sl] == slotAbsent {
+		s.known++
+	}
+	s.vals[sl] = v
+	s.state[sl] = st
 }
 
 // Set assigns an explicit trust value (clamped), e.g. the random initial
 // trust of the paper's experiments. The value counts as first-hand.
 func (s *Store) Set(n addr.Node, v float64) {
-	s.values[n] = s.params.clamp(v)
-	s.seeded.Remove(n)
+	s.setState(n, s.params.clamp(v), slotFirstHand)
 }
 
 // SetSeeded assigns a trust value derived from propagated (second-hand)
@@ -183,21 +239,23 @@ func (s *Store) Set(n addr.Node, v float64) {
 // gossiped vector containing seeded values would launder second-hand
 // opinion as first-hand testimony.
 func (s *Store) SetSeeded(n addr.Node, v float64) {
-	s.values[n] = s.params.clamp(v)
-	s.seeded.Add(n)
+	s.setState(n, s.params.clamp(v), slotSeeded)
 }
 
 // FirstHand reports whether n has an explicit trust value backed by the
 // node's own evidence (not merely a propagated-trust seed).
 func (s *Store) FirstHand(n addr.Node) bool {
-	_, ok := s.values[n]
-	return ok && !s.seeded.Has(n)
+	sl, ok := s.ix.Slot(n)
+	return ok && sl < len(s.state) && s.state[sl] == slotFirstHand
 }
 
 // Forget removes the explicit value for n, reverting it to the default.
 func (s *Store) Forget(n addr.Node) {
-	delete(s.values, n)
-	s.seeded.Remove(n)
+	if sl, ok := s.ix.Slot(n); ok && sl < len(s.state) && s.state[sl] != slotAbsent {
+		s.state[sl] = slotAbsent
+		s.vals[sl] = 0
+		s.known--
+	}
 }
 
 // Update applies Eq. 5 for one time slot:
@@ -220,11 +278,10 @@ func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
 		sum += w * ev.Value
 	}
 	v := s.params.clamp(sum + s.params.Beta*s.Get(n))
-	s.values[n] = v
 	// First-hand evidence arrived: the relationship is no longer a mere
 	// propagated seed (the seed still shaped the prior through Get, as
 	// intended — it just stops masquerading as our own observation).
-	s.seeded.Remove(n)
+	s.setState(n, v, slotFirstHand)
 	return v
 }
 
@@ -237,38 +294,67 @@ func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
 // back to the default; formerly distrusted nodes recover slowly — "a long
 // misconduct-less duration before trusting a former liar").
 func (s *Store) Relax(n addr.Node) float64 {
+	v := s.relaxed(s.Get(n))
+	sl := s.slot(n)
+	if s.state[sl] == slotAbsent {
+		s.known++
+		s.state[sl] = slotFirstHand
+	}
+	// Relaxation keeps the provenance mark: decaying a seeded value
+	// does not make it first-hand.
+	s.vals[sl] = v
+	return v
+}
+
+// relaxed applies the evidence-free decay step to one value.
+func (s *Store) relaxed(t float64) float64 {
 	p := s.params
 	beta := p.RelaxBeta
 	if beta <= 0 {
 		beta = p.Beta
 	}
-	v := p.clamp(beta*s.Get(n) + (1-beta)*p.Default)
-	s.values[n] = v
-	return v
+	return p.clamp(beta*t + (1-beta)*p.Default)
 }
 
-// RelaxAll applies Relax to every known node.
+// RelaxAll applies Relax to every known node — a linear walk over the
+// value slab, no per-node lookups.
 func (s *Store) RelaxAll() {
-	for n := range s.values {
-		s.Relax(n)
+	for sl, st := range s.state {
+		if st != slotAbsent {
+			s.vals[sl] = s.relaxed(s.vals[sl])
+		}
 	}
 }
 
 // Nodes returns the nodes with explicit trust values, sorted.
 func (s *Store) Nodes() []addr.Node {
-	out := make([]addr.Node, 0, len(s.values))
-	for n := range s.values {
-		out = append(out, n)
+	return s.NodesInto(make([]addr.Node, 0, s.known))
+}
+
+// NodesInto appends the nodes with explicit trust values to out in
+// ascending address order and returns the extended slice — the
+// allocation-free variant of Nodes, mirroring Medium.NeighborsInto.
+func (s *Store) NodesInto(out []addr.Node) []addr.Node {
+	start := len(out)
+	for sl, st := range s.state {
+		if st != slotAbsent {
+			out = append(out, s.ix.At(sl))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Slot order is first-touch order: the build-time membership is
+	// already ascending, but late strays (phantoms, tunnel mouths) may
+	// not be — sort to keep the documented order.
+	slices.Sort(out[start:])
 	return out
 }
 
 // Snapshot returns a copy of all explicit trust values.
 func (s *Store) Snapshot() map[addr.Node]float64 {
-	out := make(map[addr.Node]float64, len(s.values))
-	for n, v := range s.values {
-		out[n] = v
+	out := make(map[addr.Node]float64, s.known)
+	for sl, st := range s.state {
+		if st != slotAbsent {
+			out[s.ix.At(sl)] = s.vals[sl]
+		}
 	}
 	return out
 }

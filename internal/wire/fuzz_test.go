@@ -41,6 +41,11 @@ func FuzzDecodePacket(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodePacket(data)
 		if err != nil {
+			// The arena decoder must reject exactly what DecodePacket
+			// rejects.
+			if _, derr := new(Decoder).Decode(data); derr == nil {
+				t.Fatal("Decoder accepted input DecodePacket rejected")
+			}
 			return
 		}
 		re := p.Encode()
@@ -50,6 +55,20 @@ func FuzzDecodePacket(f *testing.F) {
 		}
 		if len(q.Messages) != len(p.Messages) || q.Seq != p.Seq {
 			t.Fatalf("re-decode changed structure: %d/%d messages", len(q.Messages), len(p.Messages))
+		}
+		// The arena decoder is a pure allocation substitution: decoding
+		// the same bytes twice through one Decoder (second pass reuses
+		// the first pass's storage) must reproduce DecodePacket's result
+		// byte for byte.
+		var dec Decoder
+		for i := 0; i < 2; i++ {
+			ap, err := dec.Decode(data)
+			if err != nil {
+				t.Fatalf("Decoder pass %d rejected accepted packet: %v", i, err)
+			}
+			if got := ap.Encode(); string(got) != string(re) {
+				t.Fatalf("Decoder pass %d re-encodes differently:\n%x\n%x", i, got, re)
+			}
 		}
 	})
 }

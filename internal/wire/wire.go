@@ -247,12 +247,31 @@ func decodeHello(b []byte) (*Hello, error) {
 // the detector compares against reality.
 func (h *Hello) SymNeighbors() addr.Set {
 	out := make(addr.Set)
+	h.SymNeighborsInto(out)
+	return out
+}
+
+// SymNeighborsInto adds the advertised symmetric neighborhood to out —
+// the variant for callers reusing a set across HELLOs.
+func (h *Hello) SymNeighborsInto(out addr.Set) {
 	for _, lb := range h.Links {
 		nt, lt := lb.Code.Split()
 		if nt == NeighSym || nt == NeighMPR || lt == LinkSym {
 			for _, n := range lb.Neighbors {
 				out.Add(n)
 			}
+		}
+	}
+}
+
+// AppendSymNeighbors appends every advertised symmetric neighbor to out,
+// in block order and without deduplication; sort-and-compact yields
+// exactly SymNeighbors().Sorted() without building the set.
+func (h *Hello) AppendSymNeighbors(out []addr.Node) []addr.Node {
+	for _, lb := range h.Links {
+		nt, lt := lb.Code.Split()
+		if nt == NeighSym || nt == NeighMPR || lt == LinkSym {
+			out = append(out, lb.Neighbors...)
 		}
 	}
 	return out
