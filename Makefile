@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update fuzz lint clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update serve-smoke serve-load fuzz lint clean
 
 check: fmt vet build test
 
@@ -58,6 +58,19 @@ alloc:
 
 alloc-update:
 	$(GO) test -run 'TestAllocBudget' -update-alloc-budget -count=1 .
+
+# Campaign-service smoke (scripts/serve_smoke.sh): boot cmd/manetd,
+# submit the baseline preset over HTTP, assert the digest against the
+# golden corpus and the /metrics counters, then SIGTERM and require a
+# clean drain. CI runs it as the serve-smoke job.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Campaign-service load harness: 1000 concurrent small campaigns across
+# 8 tenants over real HTTP, asserting zero quota starvation, identical
+# digests and no goroutine leak (idsbench -serve-load).
+serve-load:
+	$(GO) run ./cmd/idsbench -serve-load -campaigns 1000 -tenants 8
 
 # Short local fuzz pass over the codecs and the proof verifier (CI runs
 # the same budget per target).

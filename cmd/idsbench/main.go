@@ -14,6 +14,16 @@
 // sets the pool size (default GOMAXPROCS) and -seed the root seed every
 // per-trial seed is derived from, so results are identical at any worker
 // count.
+//
+// With -serve-load the binary instead load-tests the manetd campaign
+// service end to end over HTTP:
+//
+//	idsbench -serve-load -campaigns 1000 -tenants 8
+//
+// It boots an in-process manetd behind an httptest listener, fans the
+// campaigns out across tenants under a per-tenant concurrency quota, and
+// asserts zero quota starvation, byte-identical digests on every run,
+// and no goroutine leak after drain (EXPERIMENTS.md records a run).
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiment"
 	"repro/internal/scenario"
 )
@@ -34,15 +45,22 @@ func main() {
 }
 
 func run() error {
+	camp := cliutil.Bind(flag.CommandLine, 1, "root seed; per-trial seeds are derived from it")
 	var (
-		sweep   = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale, forgers or recommenders")
-		seed    = flag.Int64("seed", 1, "root seed; per-trial seeds are derived from it")
-		runs    = flag.Int("runs", 3, "trials per point (mobility sweep)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		sweep     = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale, forgers or recommenders")
+		runs      = flag.Int("runs", 3, "trials per point (mobility sweep)")
+		serveLoad = flag.Bool("serve-load", false, "load-test the manetd campaign service instead of running a sweep")
+		campaigns = flag.Int("campaigns", 1000, "concurrent campaigns for -serve-load")
+		tenants   = flag.Int("tenants", 8, "tenants the -serve-load campaigns spread across")
 	)
 	flag.Parse()
+	seed := &camp.Seed
 
-	eng := experiment.NewRunner(*seed, *workers)
+	if *serveLoad {
+		return runServeLoad(*campaigns, *tenants, camp.Seed)
+	}
+
+	eng := camp.Engine()
 
 	switch *sweep {
 	case "mobility":
@@ -93,7 +111,7 @@ func run() error {
 		// the same digests CI's golden job pins under testdata/golden/;
 		// an explicit -seed reseeds every preset for a fresh campaign.
 		specs := scenario.PacketPresets()
-		if flagPassed("seed") {
+		if camp.SeedSet() {
 			for i := range specs {
 				specs[i].Seed = *seed
 			}
@@ -114,7 +132,7 @@ func run() error {
 		// population scale, and the wall-clock ratio is the speedup the
 		// spatial grid buys end to end (medium + protocol + detection).
 		specs := scenario.ScalePresets()
-		if flagPassed("seed") {
+		if camp.SeedSet() {
 			for i := range specs {
 				specs[i].Seed = *seed
 			}
@@ -193,15 +211,4 @@ func run() error {
 		return fmt.Errorf("unknown -sweep %q", *sweep)
 	}
 	return nil
-}
-
-// flagPassed reports whether the named flag was set explicitly.
-func flagPassed(name string) bool {
-	passed := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			passed = true
-		}
-	})
-	return passed
 }

@@ -1,0 +1,108 @@
+// Command manetd runs the simulator as a long-running service: an
+// HTTP/JSON API that accepts scenario Specs (the same JSON format the
+// CLIs and the golden corpus use), queues them as campaigns on the
+// worker-pool engine, and exposes the campaign lifecycle.
+//
+//	manetd                                   # listen on :8357
+//	manetd -addr :9000 -quota-active 4       # 4 outstanding campaigns/tenant
+//	manetd -quota-rate 10 -quota-burst 20    # 10 submits/s, burst 20
+//
+// Submit and observe with curl (see README.md "Running as a service"):
+//
+//	curl -s localhost:8357/v1/campaigns -d '{"presets":["linkspoof"]}'
+//	curl -s localhost:8357/v1/campaigns/c-000001
+//	curl -sN 'localhost:8357/v1/campaigns/c-000001?watch=1'
+//	curl -s -X DELETE localhost:8357/v1/campaigns/c-000001
+//	curl -s localhost:8357/metrics
+//
+// On SIGINT/SIGTERM the service drains: /healthz flips to 503, intake
+// stops, running campaigns finish (bounded by -drain-timeout), then the
+// process exits. A second signal force-stops immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/manetd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "manetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8357", "listen address")
+		campWorkers  = flag.Int("campaign-workers", 0, "concurrent campaigns (0 = GOMAXPROCS)")
+		runWorkers   = flag.Int("run-workers", 0, "run-level pool per campaign (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "queued-campaign bound (0 = 4096)")
+		quotaActive  = flag.Int("quota-active", 0, "max outstanding campaigns per tenant (0 = unlimited)")
+		quotaRate    = flag.Float64("quota-rate", 0, "sustained submissions/sec per tenant (0 = unlimited)")
+		quotaBurst   = flag.Int("quota-burst", 0, "submission burst per tenant (0 = derived from rate)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running campaigns")
+	)
+	flag.Parse()
+
+	srv := manetd.New(manetd.Config{Campaign: campaign.Config{
+		CampaignWorkers: *campWorkers,
+		RunWorkers:      *runWorkers,
+		MaxQueue:        *maxQueue,
+		Quota: campaign.Quota{
+			MaxActive:  *quotaActive,
+			RatePerSec: *quotaRate,
+			Burst:      *quotaBurst,
+		},
+	}})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("manetd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "manetd: draining (up to %s)...\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Order matters: stop intake and wait for campaigns first (watch
+	// streams of running campaigns stay readable), then close listener
+	// connections, then force-stop whatever outlived the timeout.
+	drainErr := srv.Manager().Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "manetd: http shutdown: %v\n", err)
+	}
+	srv.Close()
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "manetd: %v (remaining campaigns canceled)\n", drainErr)
+	} else {
+		fmt.Fprintln(os.Stderr, "manetd: drained cleanly")
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cliutil"
 	"repro/internal/experiment"
 	"repro/internal/scenario"
 )
@@ -60,8 +61,9 @@ func listScenarios() {
 }
 
 func run() error {
+	camp := cliutil.Bind(flag.CommandLine, 1, "random seed (root seed with -trials > 1)").
+		BindScenario("named preset or spec file (see `manetsim list`)")
 	var (
-		seed     = flag.Int64("seed", 1, "random seed (root seed with -trials > 1)")
 		nodes    = flag.Int("nodes", 16, "population size")
 		speed    = flag.Float64("speed", 0, "max node speed in m/s (0 = static)")
 		duration = flag.Duration("duration", 4*time.Minute, "simulated time")
@@ -69,14 +71,13 @@ func run() error {
 		attackS  = flag.String("attack", "phantom", "attack: phantom, claim, omit or none")
 		liars    = flag.Int("liars", 0, "colluding liars answering investigations falsely")
 		trials   = flag.Int("trials", 1, "independent seeded runs of the scenario")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		scenName = flag.String("scenario", "", "named preset or spec file (see `manetsim list`)")
 	)
 	flag.Parse()
+	seed := &camp.Seed
 
-	eng := experiment.NewRunner(*seed, *workers)
-	if *scenName != "" {
-		return runScenario(eng, *scenName, *seed, *trials, flagPassed("seed"))
+	eng := camp.Engine()
+	if camp.HasScenario() {
+		return runScenario(eng, camp, *trials)
 	}
 
 	var mode attack.SpoofMode
@@ -165,28 +166,11 @@ func report(res *experiment.FullStackResult) {
 	fmt.Printf("  control frames:   %d\n", res.CtrlMessages)
 }
 
-// flagPassed reports whether the named flag was set explicitly.
-func flagPassed(name string) bool {
-	passed := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			passed = true
-		}
-	})
-	return passed
-}
-
 // runScenario resolves and executes a declarative scenario campaign.
-func runScenario(eng *experiment.Runner, name string, seed int64, trials int, seedSet bool) error {
-	spec, err := scenario.Resolve(name)
+func runScenario(eng *experiment.Runner, camp *cliutil.Campaign, trials int) error {
+	spec, err := camp.ResolvePacket()
 	if err != nil {
 		return err
-	}
-	if spec.WithDefaults().Kind == scenario.KindRounds {
-		return fmt.Errorf("scenario %q is a rounds scenario; run it with trustlab -scenario %s", spec.Name, name)
-	}
-	if seedSet {
-		spec.Seed = seed
 	}
 	fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
 

@@ -21,9 +21,9 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
-	"repro/internal/scenario"
 )
 
 func main() {
@@ -34,27 +34,26 @@ func main() {
 }
 
 func run() error {
+	camp := cliutil.Bind(flag.CommandLine, 1, "random seed").
+		BindScenario("rounds-kind scenario preset or spec file (e.g. paper-figures)")
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
-		seed     = flag.Int64("seed", 1, "random seed")
-		nodes    = flag.Int("nodes", 16, "population size (paper: 16)")
-		liars    = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
-		rounds   = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
-		loss     = flag.Float64("loss", 0.1, "probability an answer is lost")
-		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		scenName = flag.String("scenario", "", "rounds-kind scenario preset or spec file (e.g. paper-figures)")
+		figure = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
+		nodes  = flag.Int("nodes", 16, "population size (paper: 16)")
+		liars  = flag.Int("liars", 4, "colluding liars for figures 1-2 (paper: 4)")
+		rounds = flag.Int("rounds", 25, "investigation rounds (paper: 25)")
+		loss   = flag.Float64("loss", 0.1, "probability an answer is lost")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
 	)
 	flag.Parse()
 
 	cfg := experiment.DefaultConfig()
-	cfg.Seed = *seed
+	cfg.Seed = camp.Seed
 	cfg.Nodes = *nodes
 	cfg.Liars = *liars
 	cfg.Rounds = *rounds
 	cfg.NonAnswerProb = *loss
 
-	eng := experiment.NewRunner(*seed, *workers)
+	eng := camp.Engine()
 
 	// With -figure all the three figures run as one engine fan-out; single
 	// figures still go through the pool (Figure 3 fans its liar counts).
@@ -64,21 +63,14 @@ func run() error {
 	// spec names the population, liar count, rounds, answer loss, trust
 	// constants and the Figure-3 liar sweep. An explicit -seed still
 	// wins, so seeded campaigns over one spec stay a one-flag affair.
-	if *scenName != "" {
-		spec, err := scenario.Resolve(*scenName)
+	if camp.HasScenario() {
+		spec, converted, liarCounts, err := camp.ResolveRounds()
 		if err != nil {
 			return err
 		}
-		if flagPassed("seed") {
-			spec.Seed = *seed
-		}
-		converted, err := experiment.ConfigFromSpec(spec)
-		if err != nil {
-			return fmt.Errorf("trustlab runs rounds scenarios only (packet scenarios go through manetsim): %w", err)
-		}
 		cfg = converted
-		if spec.Rounds != nil && len(spec.Rounds.LiarCounts) > 0 {
-			fig3Counts = spec.Rounds.LiarCounts
+		if len(liarCounts) > 0 {
+			fig3Counts = liarCounts
 		}
 		fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
 	}
@@ -149,15 +141,4 @@ func run() error {
 		return fmt.Errorf("unknown -figure %q (want 1, 2, 3 or all)", *figure)
 	}
 	return nil
-}
-
-// flagPassed reports whether the named flag was set explicitly.
-func flagPassed(name string) bool {
-	passed := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			passed = true
-		}
-	})
-	return passed
 }

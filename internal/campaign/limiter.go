@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Submission rejections. The HTTP layer maps both to 429.
+var (
+	// ErrRateLimited rejects a submission that outpaces the tenant's
+	// token bucket.
+	ErrRateLimited = errors.New("campaign: tenant rate limit exceeded")
+	// ErrQuotaExceeded rejects a submission that would put the tenant
+	// over its concurrent-campaign quota.
+	ErrQuotaExceeded = errors.New("campaign: tenant concurrency quota exceeded")
+)
+
+// Quota bounds one tenant's use of the service. The zero value imposes
+// no limits.
+type Quota struct {
+	// MaxActive caps a tenant's non-terminal (queued + running)
+	// campaigns; <= 0 means unlimited.
+	MaxActive int
+	// RatePerSec is the sustained submission rate the token bucket
+	// refills at; <= 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the bucket capacity — how many submissions a tenant can
+	// make back to back after an idle period. <= 0 defaults to
+	// max(1, ceil(RatePerSec)).
+	Burst int
+}
+
+// burst resolves the effective bucket capacity.
+func (q Quota) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	return math.Max(1, math.Ceil(q.RatePerSec))
+}
+
+// limiter holds one token bucket per tenant. Buckets are created full
+// on first use, so a new tenant can always burst immediately.
+type limiter struct {
+	mu      sync.Mutex
+	quota   Quota
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(quota Quota, now func() time.Time) *limiter {
+	return &limiter{quota: quota, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from the tenant's bucket, reporting
+// ErrRateLimited when it is empty.
+func (l *limiter) allow(tenant string) error {
+	if l.quota.RatePerSec <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.quota.burst(), last: now}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.quota.burst(), b.tokens+elapsed*l.quota.RatePerSec)
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return ErrRateLimited
+	}
+	b.tokens--
+	return nil
+}

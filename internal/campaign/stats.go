@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// numBounds is the finite bucket count of the run-latency histogram.
+const numBounds = 16
+
+// latencyBounds are the run-latency histogram bucket upper bounds in
+// seconds — exponential from 1ms (a tiny smoke spec) to 120s (storm-500
+// territory), with +Inf implied.
+var latencyBounds = [numBounds]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters —
+// enough for a Prometheus-style exposition without a dependency.
+type histogram struct {
+	counts [numBounds + 1]atomic.Uint64 // one per bound, plus +Inf
+	sumNS  atomic.Int64
+	count  atomic.Uint64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < numBounds && s > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of the run-latency
+// histogram. Counts are per-bucket (not cumulative); Bounds[i] is the
+// inclusive upper bound of Counts[i], and Counts[len(Bounds)] is the
+// +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64 // seconds
+	Count  uint64
+}
+
+// snapshot copies the histogram.
+func (h *histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: latencyBounds[:],
+		Counts: make([]uint64, numBounds+1),
+		Sum:    time.Duration(h.sumNS.Load()).Seconds(),
+		Count:  h.count.Load(),
+	}
+	for i := range out.Counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Stats is a point-in-time view of the manager, shaped for the /metrics
+// exporter.
+type Stats struct {
+	// QueueDepth is the number of campaigns waiting for an executor;
+	// Running the number currently executing.
+	QueueDepth int
+	Running    int
+	// Campaign-level lifecycle counters.
+	Submitted uint64
+	Completed uint64
+	Failed    uint64
+	Canceled  uint64
+	// Rejection counters (already mapped to 429 by the HTTP layer).
+	RateLimited   uint64
+	QuotaRejected uint64
+	// Runs counts finished scenario runs; RunLatency distributes their
+	// wall-clock cost.
+	Runs       uint64
+	RunLatency HistogramSnapshot
+	// LastRunAllocs is the malloc delta of the most recently finished
+	// run — the PR 6 allocation counter surfaced as a gauge.
+	LastRunAllocs uint64
+	// Draining reports that the manager has stopped accepting work.
+	Draining bool
+}

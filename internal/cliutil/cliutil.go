@@ -1,0 +1,120 @@
+// Package cliutil is the one flag→Spec/config conversion path shared by
+// the command-line tools. Before it, manetsim, trustlab and idsbench
+// each carried their own copies of the same plumbing — a flagPassed
+// helper, engine construction, preset/file resolution with the
+// explicit-seed override, and the rounds-spec→Config conversion — so
+// the flag surface and the JSON Spec surface could drift apart. Now
+// both funnel through scenario.Resolve/Validate and experiment.NewRunner
+// here, and a behavior change lands in every CLI (and nowhere else) at
+// once. Behavior is pinned by the golden corpus: resolution and seeding
+// are byte-for-byte what the CLIs did before the extraction.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// Campaign holds the flag values every CLI shares: the root seed, the
+// engine worker count, and (for the CLIs that take one) a declarative
+// scenario by preset name or spec-file path.
+type Campaign struct {
+	Seed     int64
+	Workers  int
+	Scenario string
+	fs       *flag.FlagSet
+}
+
+// Bind registers the shared -seed and -workers flags on fs (use
+// flag.CommandLine in a CLI's main) and returns the handle the other
+// helpers hang off.
+func Bind(fs *flag.FlagSet, defaultSeed int64, seedUsage string) *Campaign {
+	c := &Campaign{fs: fs}
+	fs.Int64Var(&c.Seed, "seed", defaultSeed, seedUsage)
+	fs.IntVar(&c.Workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	return c
+}
+
+// BindScenario additionally registers the -scenario flag.
+func (c *Campaign) BindScenario(usage string) *Campaign {
+	c.fs.StringVar(&c.Scenario, "scenario", "", usage)
+	return c
+}
+
+// FlagPassed reports whether the named flag was set explicitly on the
+// command line (after fs.Parse).
+func FlagPassed(fs *flag.FlagSet, name string) bool {
+	passed := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+// SeedSet reports whether -seed was given explicitly — the condition
+// under which a resolved scenario's embedded seed is overridden.
+func (c *Campaign) SeedSet() bool { return FlagPassed(c.fs, "seed") }
+
+// HasScenario reports whether a -scenario was requested.
+func (c *Campaign) HasScenario() bool { return c.Scenario != "" }
+
+// Engine builds the parallel experiment runner for the parsed flags.
+func (c *Campaign) Engine() *experiment.Runner {
+	return experiment.NewRunner(c.Seed, c.Workers)
+}
+
+// Resolve returns the named preset or loads the spec file, applying the
+// explicit-seed override: a preset keeps its embedded seed unless the
+// user said -seed, in which case seeded campaigns over one spec stay a
+// one-flag affair. The spec arrives validated (scenario.Resolve runs
+// Parse on files; presets are validated at registration).
+func (c *Campaign) Resolve() (scenario.Spec, error) {
+	spec, err := scenario.Resolve(c.Scenario)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if c.SeedSet() {
+		spec.Seed = c.Seed
+	}
+	return spec, nil
+}
+
+// ResolvePacket is Resolve restricted to packet-kind scenarios, with
+// the redirect message the packet CLIs print for rounds specs.
+func (c *Campaign) ResolvePacket() (scenario.Spec, error) {
+	spec, err := c.Resolve()
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if spec.WithDefaults().Kind == scenario.KindRounds {
+		return scenario.Spec{}, fmt.Errorf(
+			"scenario %q is a rounds scenario; run it with trustlab -scenario %s", spec.Name, c.Scenario)
+	}
+	return spec, nil
+}
+
+// ResolveRounds is Resolve for the figures CLI: it converts the spec to
+// the §V round-based Config (base supplies the flag-derived defaults
+// the spec does not override) and returns the Figure-3 liar sweep the
+// spec carries, if any.
+func (c *Campaign) ResolveRounds() (scenario.Spec, experiment.Config, []int, error) {
+	spec, err := c.Resolve()
+	if err != nil {
+		return scenario.Spec{}, experiment.Config{}, nil, err
+	}
+	cfg, err := experiment.ConfigFromSpec(spec)
+	if err != nil {
+		return scenario.Spec{}, experiment.Config{}, nil,
+			fmt.Errorf("trustlab runs rounds scenarios only (packet scenarios go through manetsim): %w", err)
+	}
+	var liarCounts []int
+	if spec.Rounds != nil && len(spec.Rounds.LiarCounts) > 0 {
+		liarCounts = spec.Rounds.LiarCounts
+	}
+	return spec, cfg, liarCounts, nil
+}

@@ -1,0 +1,105 @@
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// parse builds a Campaign on a fresh FlagSet and parses args, the way a
+// CLI's main does on flag.CommandLine.
+func parse(t *testing.T, args ...string) *Campaign {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Bind(fs, 1, "seed").BindScenario("scenario")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parsing %v: %v", args, err)
+	}
+	return c
+}
+
+func TestSeedOverrideSemantics(t *testing.T) {
+	// Default seed: a preset keeps its embedded seed.
+	c := parse(t, "-scenario", "baseline")
+	if c.SeedSet() {
+		t.Error("SeedSet() = true without -seed")
+	}
+	spec, err := c.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	preset, _ := scenario.Get("baseline")
+	if spec.Seed != preset.Seed {
+		t.Errorf("preset seed overridden without -seed: %d != %d", spec.Seed, preset.Seed)
+	}
+
+	// Explicit -seed: the preset is reseeded, even with the default value.
+	c = parse(t, "-scenario", "baseline", "-seed", "1")
+	if !c.SeedSet() {
+		t.Fatal("SeedSet() = false with explicit -seed")
+	}
+	spec, err = c.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if spec.Seed != 1 {
+		t.Errorf("explicit -seed 1 not applied: spec seed %d", spec.Seed)
+	}
+}
+
+func TestResolvePacketRedirectsRounds(t *testing.T) {
+	c := parse(t, "-scenario", "paper-figures")
+	_, err := c.ResolvePacket()
+	if err == nil || !strings.Contains(err.Error(), "trustlab") {
+		t.Errorf("ResolvePacket on a rounds spec: err = %v, want the trustlab redirect", err)
+	}
+	c = parse(t, "-scenario", "baseline")
+	if _, err := c.ResolvePacket(); err != nil {
+		t.Errorf("ResolvePacket on a packet spec: %v", err)
+	}
+}
+
+func TestResolveRoundsConvertsAndSweeps(t *testing.T) {
+	c := parse(t, "-scenario", "paper-figures")
+	spec, cfg, liarCounts, err := c.ResolveRounds()
+	if err != nil {
+		t.Fatalf("ResolveRounds: %v", err)
+	}
+	want, err := experiment.ConfigFromSpec(spec)
+	if err != nil {
+		t.Fatalf("ConfigFromSpec: %v", err)
+	}
+	if cfg != want {
+		t.Errorf("ResolveRounds config diverges from ConfigFromSpec")
+	}
+	if spec.Rounds != nil && len(spec.Rounds.LiarCounts) > 0 && len(liarCounts) == 0 {
+		t.Error("spec carries a liar sweep but ResolveRounds returned none")
+	}
+
+	c = parse(t, "-scenario", "baseline")
+	if _, _, _, err := c.ResolveRounds(); !errors.Is(err, experiment.ErrNotRounds) {
+		t.Errorf("ResolveRounds on a packet spec: err = %v, want ErrNotRounds", err)
+	}
+}
+
+func TestEngineUsesFlagValues(t *testing.T) {
+	c := parse(t, "-seed", "9", "-workers", "3")
+	eng := c.Engine()
+	if eng.RootSeed != 9 {
+		t.Errorf("engine root seed = %d, want 9", eng.RootSeed)
+	}
+	if c.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", c.Workers)
+	}
+}
+
+func TestResolveUnknownScenario(t *testing.T) {
+	c := parse(t, "-scenario", "no-such-scenario")
+	if _, err := c.Resolve(); err == nil {
+		t.Error("Resolve accepted an unknown scenario name")
+	}
+}

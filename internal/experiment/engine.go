@@ -13,6 +13,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -158,4 +159,64 @@ func (r *Runner) ForEach(n int, fn func(i int)) {
 		fn(i)
 		return struct{}{}
 	})
+}
+
+// mapTasksCtx is mapTasks with cooperative cancellation: workers stop
+// claiming tasks once ctx is done, and the call reports ctx's error if
+// any task went unclaimed. Tasks already started run to completion —
+// aborting mid-task is fn's job (the packet-scenario runners thread the
+// same ctx into scenario.RunContext, which polls it every simulated
+// 500ms). On a clean completion the result slice is exactly what
+// mapTasks would have produced: cancellation can only truncate a
+// campaign, never perturb the runs that finished.
+func mapTasksCtx[T any](ctx context.Context, workers, n int, fn func(int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = fn(i)
+		}
+		return out, nil
+	}
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if int(done.Load()) < n {
+		// Tasks only go unclaimed on cancellation, so ctx.Err() is
+		// non-nil here.
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// ForEachContext is ForEach with cooperative cancellation (see
+// mapTasksCtx for the exact semantics).
+func (r *Runner) ForEachContext(ctx context.Context, n int, fn func(i int)) error {
+	_, err := mapTasksCtx(ctx, r.workerCount(), n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+	return err
 }

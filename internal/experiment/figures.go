@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -389,9 +390,23 @@ type FiguresResult struct {
 // figures back to back. Fig3 sub-results land at fixed task indices and
 // are assembled in liarCounts order afterwards.
 func (r *Runner) Figures(cfg Config, liarCounts []int) *FiguresResult {
+	res, err := r.FiguresContext(context.Background(), cfg, liarCounts)
+	if err != nil {
+		// Background contexts never cancel, and the fan-out has no other
+		// failure mode.
+		panic(err)
+	}
+	return res
+}
+
+// FiguresContext is Figures with cooperative cancellation: undispatched
+// figure tasks are abandoned once ctx is done. A single figure task is
+// milliseconds of arithmetic, so cancellation is checked between tasks
+// rather than inside them.
+func (r *Runner) FiguresContext(ctx context.Context, cfg Config, liarCounts []int) (*FiguresResult, error) {
 	res := &FiguresResult{}
 	fig3Vals := make([][]float64, len(liarCounts))
-	r.ForEach(2+len(liarCounts), func(i int) {
+	err := r.ForEachContext(ctx, 2+len(liarCounts), func(i int) {
 		switch i {
 		case 0:
 			res.Fig1 = runFig1(cfg)
@@ -401,6 +416,39 @@ func (r *Runner) Figures(cfg Config, liarCounts []int) *FiguresResult {
 			fig3Vals[i-2] = fig3Series(cfg, liarCounts[i-2])
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	res.Fig3 = assembleFig3(cfg, liarCounts, fig3Vals)
-	return res
+	return res, nil
+}
+
+// Fig1Context, Fig2Context and Fig3Context are the cancellable variants
+// of the single-figure runners. A figure regeneration is a few
+// milliseconds of work, so ctx is observed at task boundaries (and, for
+// the Figure 3 fan, between sweep points) rather than mid-computation.
+func (r *Runner) Fig1Context(ctx context.Context, cfg Config) (*Fig1Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runFig1(cfg), nil
+}
+
+// Fig2Context is the cancellable Fig2 (see Fig1Context).
+func (r *Runner) Fig2Context(ctx context.Context, cfg Config) (*Fig2Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runFig2(cfg), nil
+}
+
+// Fig3Context is the cancellable Fig3 (see Fig1Context).
+func (r *Runner) Fig3Context(ctx context.Context, cfg Config, liarCounts []int) (*Fig3Result, error) {
+	series, err := mapTasksCtx(ctx, r.workerCount(), len(liarCounts), func(i int) []float64 {
+		return fig3Series(cfg, liarCounts[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleFig3(cfg, liarCounts, series), nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -134,6 +135,18 @@ func (r *Runner) FullStack(cfg FullStackConfig) *FullStackResult {
 	return runFullStack(cfg)
 }
 
+// FullStackContext is FullStack with cooperative cancellation: the
+// underlying packet run aborts at the kernel's next verdict-poll step
+// once ctx is done (scenario.RunContext).
+func (r *Runner) FullStackContext(ctx context.Context, cfg FullStackConfig) (*FullStackResult, error) {
+	cfg = cfg.withDefaults()
+	sres, err := scenario.RunContext(ctx, cfg.Spec())
+	if err != nil {
+		return nil, err
+	}
+	return reduceFullStack(cfg, sres), nil
+}
+
 func runFullStack(cfg FullStackConfig) *FullStackResult {
 	cfg = cfg.withDefaults()
 	sres, err := scenario.Run(cfg.Spec())
@@ -142,6 +155,12 @@ func runFullStack(cfg FullStackConfig) *FullStackResult {
 		// is a bug in the conversion itself.
 		panic(err)
 	}
+	return reduceFullStack(cfg, sres)
+}
+
+// reduceFullStack summarizes one packet-level scenario result as the
+// full-stack detection report.
+func reduceFullStack(cfg FullStackConfig, sres *scenario.Result) *FullStackResult {
 	att := sres.Suspects[0]
 	res := &FullStackResult{
 		Investigations:  sres.Investigations,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,11 +22,30 @@ func (r *Runner) Scenario(spec scenario.Spec) (*scenario.Result, error) {
 	return scenario.Run(spec)
 }
 
-// ScenarioTrials fans trials independent runs of the spec onto the pool.
-// Trial 0 keeps the spec's own seed verbatim — a 1-trial campaign is
-// reproducible as the first trial of a larger one — and trial i > 0 runs
-// with DeriveSeed(spec.Seed, "scenario-trial", 0, i).
+// TrialSeed maps a campaign trial index to its run seed: trial 0 keeps
+// the spec's own seed verbatim — a 1-trial campaign is reproducible as
+// the first trial of a larger one — and trial i > 0 runs with
+// DeriveSeed(spec.Seed, "scenario-trial", 0, i). Every campaign surface
+// (ScenarioTrials here, the campaign service's run expansion) derives
+// trial seeds through this one function, which is what makes a campaign
+// submitted over HTTP byte-identical to a direct engine run.
+func TrialSeed(specSeed int64, trial int) int64 {
+	if trial <= 0 {
+		return specSeed
+	}
+	return DeriveSeed(specSeed, scenarioTrialID, 0, trial)
+}
+
+// ScenarioTrials fans trials independent runs of the spec onto the pool,
+// with per-trial seeds from TrialSeed.
 func (r *Runner) ScenarioTrials(spec scenario.Spec, trials int) ([]*scenario.Result, error) {
+	return r.ScenarioTrialsContext(context.Background(), spec, trials)
+}
+
+// ScenarioTrialsContext is ScenarioTrials with cooperative cancellation:
+// undispatched trials are abandoned once ctx is done, and running trials
+// abort at the kernel's next verdict-poll step (scenario.RunContext).
+func (r *Runner) ScenarioTrialsContext(ctx context.Context, spec scenario.Spec, trials int) ([]*scenario.Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,14 +56,15 @@ func (r *Runner) ScenarioTrials(spec scenario.Spec, trials int) ([]*scenario.Res
 		res *scenario.Result
 		err error
 	}
-	results := mapTasks(r.workerCount(), trials, func(i int) outcome {
+	results, err := mapTasksCtx(ctx, r.workerCount(), trials, func(i int) outcome {
 		s := spec
-		if i > 0 {
-			s.Seed = DeriveSeed(spec.Seed, scenarioTrialID, 0, i)
-		}
-		res, err := scenario.Run(s)
+		s.Seed = TrialSeed(spec.Seed, i)
+		res, err := scenario.RunContext(ctx, s)
 		return outcome{res, err}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*scenario.Result, trials)
 	for i, o := range results {
 		if o.err != nil {
@@ -57,6 +78,12 @@ func (r *Runner) ScenarioTrials(spec scenario.Spec, trials int) ([]*scenario.Res
 // ScenarioMatrix runs every spec once on the pool and returns the
 // digests in spec order — the golden-corpus regeneration primitive.
 func (r *Runner) ScenarioMatrix(specs []scenario.Spec) ([]scenario.Digest, error) {
+	return r.ScenarioMatrixContext(context.Background(), specs)
+}
+
+// ScenarioMatrixContext is ScenarioMatrix with cooperative cancellation
+// (the semantics of ScenarioTrialsContext).
+func (r *Runner) ScenarioMatrixContext(ctx context.Context, specs []scenario.Spec) ([]scenario.Digest, error) {
 	for _, s := range specs {
 		if err := s.Validate(); err != nil {
 			return nil, err
@@ -66,13 +93,16 @@ func (r *Runner) ScenarioMatrix(specs []scenario.Spec) ([]scenario.Digest, error
 		d   scenario.Digest
 		err error
 	}
-	results := mapTasks(r.workerCount(), len(specs), func(i int) outcome {
-		res, err := scenario.Run(specs[i])
+	results, err := mapTasksCtx(ctx, r.workerCount(), len(specs), func(i int) outcome {
+		res, err := scenario.RunContext(ctx, specs[i])
 		if err != nil {
 			return outcome{err: err}
 		}
 		return outcome{d: res.Digest()}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]scenario.Digest, len(specs))
 	for i, o := range results {
 		if o.err != nil {
@@ -117,4 +147,38 @@ func ConfigFromSpec(s scenario.Spec) (Config, error) {
 		cfg.Params = *s.Trust
 	}
 	return cfg, nil
+}
+
+// SpecFromConfig is the inverse of ConfigFromSpec: it renders a §V
+// round-based configuration as the equivalent rounds-kind scenario spec,
+// so the Config-typed legacy entrypoints (Figure1..3) can delegate to
+// the spec-typed campaign surface. The conversion is exact for every
+// configuration ConfigFromSpec can produce — the round trip
+// ConfigFromSpec(SpecFromConfig(cfg)) == cfg is pinned by test — with
+// one degenerate exception: an all-zero initial-trust range decays to
+// the default range, which no real configuration uses.
+func SpecFromConfig(cfg Config) scenario.Spec {
+	rs := &scenario.RoundsSpec{
+		Rounds:          cfg.Rounds,
+		InitialTrustMin: cfg.InitialTrustMin,
+		InitialTrustMax: cfg.InitialTrustMax,
+	}
+	// RoundsSpec convention: 0 = "experiment default", negative =
+	// explicitly lossless. A Config carries the resolved probability, so
+	// an explicit 0 must survive as -1.
+	if cfg.NonAnswerProb > 0 {
+		rs.NonAnswerProb = cfg.NonAnswerProb
+	} else {
+		rs.NonAnswerProb = -1
+	}
+	p := cfg.Params
+	return scenario.Spec{
+		Name:   "config",
+		Kind:   scenario.KindRounds,
+		Seed:   cfg.Seed,
+		Nodes:  cfg.Nodes,
+		Liars:  cfg.Liars,
+		Trust:  &p,
+		Rounds: rs,
+	}
 }

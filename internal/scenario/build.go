@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -631,6 +632,16 @@ const verdictPollStep = 500 * time.Millisecond
 // Run builds, starts and executes a packet scenario and reduces it to a
 // Result.
 func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: the event loop checks ctx at
+// every verdict-poll step (500ms of simulated time), so a campaign
+// service can abandon a long run without waiting for it to finish. A
+// canceled run returns ctx's error and no Result; cancellation cannot
+// perturb a run that completes, because the check only ever aborts —
+// it never reorders or drops events.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	b, err := Build(spec)
 	if err != nil {
 		return nil, err
@@ -645,6 +656,9 @@ func Run(spec Spec) (*Result, error) {
 	}
 	det := w.Node(b.Victim).Detector
 	for w.Sched.Now() < spec.Duration.D() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("scenario %q canceled at %s: %w", spec.Name, w.Sched.Now(), err)
+		}
 		w.RunFor(verdictPollStep)
 		for i, s := range b.suspects {
 			if convictedAt[i] >= 0 {

@@ -232,8 +232,19 @@ type RoundsSpec struct {
 	LiarCounts []int `json:"liarCounts,omitempty"`
 }
 
+// SpecVersion is the current wire-format version of Spec. Version 1 is
+// the format the PR 2 corpus froze; a Spec with Version 0 (the field
+// omitted from JSON) means version 1. Decoders reject any other value,
+// so a remote caller speaking a future format fails loudly instead of
+// being silently misread (Parse additionally rejects unknown top-level
+// keys via DisallowUnknownFields).
+const SpecVersion = 1
+
 // Spec is a complete declarative scenario.
 type Spec struct {
+	// Version is the wire-format version (0 or SpecVersion today; 0
+	// means "current", so hand-written specs need not carry the field).
+	Version     int    `json:"version,omitempty"`
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 	// Kind is KindPacket (default) or KindRounds.
@@ -329,6 +340,10 @@ func (s Spec) WithDefaults() Spec {
 // Validate reports the first problem with the spec, after defaulting.
 func (s Spec) Validate() error {
 	s = s.WithDefaults()
+	if s.Version != 0 && s.Version != SpecVersion {
+		return fmt.Errorf("scenario %q: unsupported spec version %d (this build speaks version %d)",
+			s.Name, s.Version, SpecVersion)
+	}
 	switch s.Kind {
 	case KindPacket, KindRounds:
 	default:

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecVersioning pins the wire-format versioning contract: version
+// omitted (0) and version 1 are this build's format; anything else is
+// rejected with a message naming both versions, and the JSON parser
+// already rejects unknown fields, so a future-version spec can never be
+// silently half-read.
+func TestSpecVersioning(t *testing.T) {
+	base := Spec{Name: "v", Seed: 1, Nodes: 4, Duration: Dur(5 * time.Second)}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("version omitted: %v", err)
+	}
+	base.Version = SpecVersion
+	if err := base.Validate(); err != nil {
+		t.Fatalf("version %d: %v", SpecVersion, err)
+	}
+	base.Version = SpecVersion + 1
+	err := base.Validate()
+	if err == nil {
+		t.Fatalf("version %d accepted", base.Version)
+	}
+	if !strings.Contains(err.Error(), "version 2") || !strings.Contains(err.Error(), "version 1") {
+		t.Errorf("version error %q does not name both versions", err)
+	}
+
+	if _, err := Parse([]byte(`{"name": "v", "version": 1, "seed": 1, "nodes": 4, "duration": "5s"}`)); err != nil {
+		t.Errorf("Parse version 1: %v", err)
+	}
+	if _, err := Parse([]byte(`{"name": "v", "version": 7, "seed": 1, "nodes": 4, "duration": "5s"}`)); err == nil {
+		t.Error("Parse accepted version 7")
+	}
+}
+
+// TestPresetsCarryNoVersion guards the golden corpus: presets leave the
+// version field at its omitted default, so their JSON serialization —
+// and with it every pinned digest input — is unchanged by versioning.
+func TestPresetsCarryNoVersion(t *testing.T) {
+	for _, s := range Presets() {
+		if s.Version != 0 {
+			t.Errorf("preset %q carries explicit version %d", s.Name, s.Version)
+		}
+		if s.WithDefaults().Version != 0 {
+			t.Errorf("WithDefaults invents a version for %q", s.Name)
+		}
+	}
+}
+
+// TestRunContextCancel aborts a simulation mid-run and checks the error
+// names the scenario; a background context must be a no-op.
+func TestRunContextCancel(t *testing.T) {
+	spec := Spec{Name: "cancelme", Seed: 1, Nodes: 16, Duration: Dur(4 * time.Minute),
+		Mobility: MobilitySpec{Model: "waypoint", MaxSpeed: 2}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, spec); err == nil || !strings.Contains(err.Error(), "cancelme") {
+		t.Errorf("pre-canceled run: err = %v, want cancellation naming the scenario", err)
+	}
+
+	tiny := Spec{Name: "tiny", Seed: 1, Nodes: 4, Duration: Dur(5 * time.Second)}
+	bg, err := RunContext(context.Background(), tiny)
+	if err != nil {
+		t.Fatalf("background RunContext: %v", err)
+	}
+	plain, err := Run(tiny)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bg.Digest() != plain.Digest() {
+		t.Error("RunContext(Background) digest diverges from Run")
+	}
+}

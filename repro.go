@@ -22,11 +22,17 @@
 //     testdata/golden/ — internal/scenario.
 //
 // This root package is a thin facade: it re-exports the experiment entry
-// points that the benchmarks, examples and command-line tools share. The
-// full API lives in the internal packages; see README.md for a map.
+// points that the benchmarks, examples and command-line tools share, all
+// of them funneling through one context-aware entrypoint, Run — the same
+// (Spec, RunOpts) surface the manetd campaign service (cmd/manetd,
+// internal/campaign) exposes over HTTP. The full API lives in the
+// internal packages; see README.md for a map.
 package repro
 
 import (
+	"context"
+
+	"repro/internal/campaign"
 	"repro/internal/experiment"
 	"repro/internal/scenario"
 	"repro/internal/trust"
@@ -46,24 +52,133 @@ type TrustParams = trust.Params
 // reproduction (see DESIGN.md §2 for the calibration rationale).
 func DefaultTrustParams() TrustParams { return trust.DefaultParams() }
 
+// RunOpts are the execution options of a Run call: trial count, worker
+// pool bound, an optional seed override and the Figure-3 liar sweep for
+// rounds-kind scenarios. It is the campaign service's option type — what
+// a POST /v1/campaigns body carries is exactly what Run accepts.
+type RunOpts = campaign.RunOpts
+
+// RunResult is what Run produces. Exactly one of the two payloads is
+// populated, by scenario kind: Trials for packet scenarios (one
+// ScenarioResult per seeded trial, trial seeds via experiment.TrialSeed),
+// Figures for rounds scenarios (the §V Figures 1–3 data).
+type RunResult struct {
+	// Spec is the executed scenario, after any RunOpts seed override.
+	Spec Scenario
+	// Trials holds the packet-kind results, one per trial.
+	Trials []*ScenarioResult
+	// Figures holds the rounds-kind results.
+	Figures *experiment.FiguresResult
+}
+
+// Run executes one declarative scenario under ctx — the single
+// entrypoint every per-figure and per-scenario function in this facade
+// is a thin wrapper over, and the same execution path the manetd
+// campaign service queues over HTTP. Packet-kind specs fan their trials
+// out on the worker-pool engine; rounds-kind specs regenerate the
+// paper's Figures 1–3. Cancellation is honored mid-simulation at event
+// granularity; results are bit-identical at any worker count.
+func Run(ctx context.Context, spec Scenario, opts RunOpts) (*RunResult, error) {
+	if opts.Seed != nil {
+		spec.Seed = *opts.Seed
+	}
+	eng := experiment.NewRunner(spec.Seed, opts.Workers)
+	if spec.WithDefaults().Kind == scenario.KindRounds {
+		cfg, err := experiment.ConfigFromSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		liarCounts := opts.LiarCounts
+		if len(liarCounts) == 0 && spec.Rounds != nil {
+			liarCounts = spec.Rounds.LiarCounts
+		}
+		if len(liarCounts) == 0 {
+			liarCounts = []int{1, 4, 7} // trustlab's default Figure-3 sweep
+		}
+		figs, err := eng.FiguresContext(ctx, cfg, liarCounts)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{Spec: spec, Figures: figs}, nil
+	}
+	trials := opts.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	results, err := eng.ScenarioTrialsContext(ctx, spec, trials)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Spec: spec, Trials: results}, nil
+}
+
 // Figure1 regenerates the data behind the paper's Figure 1
 // (trustworthiness under sustained attack).
-func Figure1(cfg ScenarioConfig) *experiment.Fig1Result { return experiment.RunFig1(cfg) }
+func Figure1(cfg ScenarioConfig) *experiment.Fig1Result {
+	f, err := Figure1Context(context.Background(), cfg)
+	if err != nil {
+		panic(err) // Background ctx never cancels; the config is its own spec
+	}
+	return f
+}
+
+// Figure1Context is Figure1 under a context: the config round-trips
+// through its scenario spec (experiment.SpecFromConfig) into Run.
+func Figure1Context(ctx context.Context, cfg ScenarioConfig) (*experiment.Fig1Result, error) {
+	res, err := Run(ctx, experiment.SpecFromConfig(cfg), RunOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Figures.Fig1, nil
+}
 
 // Figure2 regenerates the data behind Figure 2 (forgetting-factor
 // relaxation after the attack ceases).
-func Figure2(cfg ScenarioConfig) *experiment.Fig2Result { return experiment.RunFig2(cfg) }
+func Figure2(cfg ScenarioConfig) *experiment.Fig2Result {
+	f, err := Figure2Context(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Figure2Context is Figure2 under a context, through Run.
+func Figure2Context(ctx context.Context, cfg ScenarioConfig) (*experiment.Fig2Result, error) {
+	res, err := Run(ctx, experiment.SpecFromConfig(cfg), RunOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Figures.Fig2, nil
+}
 
 // Figure3 regenerates the data behind Figure 3 (impact of liars on the
 // detection value) for the given liar counts.
 func Figure3(cfg ScenarioConfig, liarCounts []int) *experiment.Fig3Result {
-	return experiment.RunFig3(cfg, liarCounts)
+	f, err := Figure3Context(context.Background(), cfg, liarCounts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Figure3Context is Figure3 under a context, through Run.
+func Figure3Context(ctx context.Context, cfg ScenarioConfig, liarCounts []int) (*experiment.Fig3Result, error) {
+	res, err := Run(ctx, experiment.SpecFromConfig(cfg), RunOpts{LiarCounts: liarCounts})
+	if err != nil {
+		return nil, err
+	}
+	return res.Figures.Fig3, nil
 }
 
 // FullStack runs the packet-level end-to-end scenario: OLSR over the
 // simulated radio, a link-spoofing attacker, and the victim's detector.
 func FullStack(cfg experiment.FullStackConfig) *experiment.FullStackResult {
 	return experiment.RunFullStack(cfg)
+}
+
+// FullStackContext is FullStack under a context.
+func FullStackContext(ctx context.Context, cfg experiment.FullStackConfig) (*experiment.FullStackResult, error) {
+	return experiment.NewRunner(cfg.Seed, 0).FullStackContext(ctx, cfg)
 }
 
 // Engine is the parallel experiment runner (DESIGN.md §6): a worker pool
@@ -99,3 +214,9 @@ func ResolveScenario(name string) (Scenario, error) { return scenario.Resolve(na
 
 // RunScenario executes one packet-level scenario.
 func RunScenario(spec Scenario) (*ScenarioResult, error) { return scenario.Run(spec) }
+
+// RunScenarioContext is RunScenario under a context: the simulation
+// checks for cancellation as it advances and unwinds mid-run.
+func RunScenarioContext(ctx context.Context, spec Scenario) (*ScenarioResult, error) {
+	return scenario.RunContext(ctx, spec)
+}

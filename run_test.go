@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/scenario"
+)
+
+// TestRunPacketSpec drives the unified entrypoint on a packet scenario
+// and checks it matches the engine it wraps, trial for trial.
+func TestRunPacketSpec(t *testing.T) {
+	spec := Scenario{Name: "tiny", Seed: 5, Nodes: 4, Duration: scenario.Dur(5 * time.Second)}
+	res, err := Run(context.Background(), spec, RunOpts{Trials: 3, Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Trials) != 3 || res.Figures != nil {
+		t.Fatalf("packet Run: %d trials, figures %v", len(res.Trials), res.Figures)
+	}
+	direct, err := experiment.NewRunner(spec.Seed, 2).ScenarioTrials(spec, 3)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for i := range direct {
+		if res.Trials[i].Digest() != direct[i].Digest() {
+			t.Errorf("trial %d digest diverges from the engine", i)
+		}
+	}
+
+	// A seed override reseeds the run and is reflected in the result spec.
+	seed := int64(91)
+	res2, err := Run(context.Background(), spec, RunOpts{Seed: &seed})
+	if err != nil {
+		t.Fatalf("Run with seed override: %v", err)
+	}
+	if res2.Spec.Seed != seed {
+		t.Errorf("override: result spec seed %d, want %d", res2.Spec.Seed, seed)
+	}
+	if res2.Trials[0].Digest() == res.Trials[0].Digest() {
+		t.Error("override: digest unchanged by a different seed")
+	}
+}
+
+// TestRunRoundsSpec drives the rounds branch: figures come back and the
+// liar sweep resolves opts > spec > default.
+func TestRunRoundsSpec(t *testing.T) {
+	cfg := experiment.DefaultConfig()
+	cfg.Nodes, cfg.Liars, cfg.Rounds = 8, 2, 6
+	spec := experiment.SpecFromConfig(cfg)
+
+	res, err := Run(context.Background(), spec, RunOpts{LiarCounts: []int{1, 2}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Figures == nil || res.Trials != nil {
+		t.Fatalf("rounds Run: figures %v, %d trials", res.Figures, len(res.Trials))
+	}
+	if res.Figures.Fig1 == nil || res.Figures.Fig2 == nil || res.Figures.Fig3 == nil {
+		t.Fatal("rounds Run: incomplete figures")
+	}
+	if got := len(res.Figures.Fig3.Final); got != 2 {
+		t.Errorf("Fig3 series = %d, want the 2 requested liar counts", got)
+	}
+
+	// The legacy per-figure wrappers ride the same path and agree with
+	// the experiment package's direct runners.
+	f1 := Figure1(cfg)
+	if want := experiment.RunFig1(cfg); f1.LiarFinalMax != want.LiarFinalMax {
+		t.Errorf("Figure1 through Run: LiarFinalMax %v, direct %v", f1.LiarFinalMax, want.LiarFinalMax)
+	}
+	f3 := Figure3(cfg, []int{2})
+	if want := experiment.RunFig3(cfg, []int{2}); len(f3.Final) != len(want.Final) {
+		t.Errorf("Figure3 through Run: %d series, direct %d", len(f3.Final), len(want.Final))
+	}
+}
+
+// TestRunHonorsCancellation checks both branches unwind on a canceled
+// context.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	packet := Scenario{Name: "tiny", Seed: 1, Nodes: 4, Duration: scenario.Dur(5 * time.Second)}
+	if _, err := Run(ctx, packet, RunOpts{}); err == nil {
+		t.Error("packet Run ignored a canceled context")
+	}
+	if _, err := Run(ctx, experiment.SpecFromConfig(experiment.DefaultConfig()), RunOpts{}); err == nil {
+		t.Error("rounds Run ignored a canceled context")
+	}
+}

@@ -1,0 +1,97 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the manetd campaign service:
+# build the binary, boot it, submit the baseline preset over HTTP, wait
+# for the campaign to finish, assert its digest against the pinned
+# golden hash and the /metrics counters against the run, then SIGTERM
+# and require a clean drain. `make serve-smoke` runs this; CI wires it
+# as the serve-smoke job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${MANETD_PORT:-18357}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "serve-smoke: building manetd"
+go build -o "$TMP/manetd" ./cmd/manetd
+
+"$TMP/manetd" -addr "127.0.0.1:$PORT" -drain-timeout 30s >"$TMP/manetd.log" 2>&1 &
+PID=$!
+
+# Readiness: /healthz answers 200 once the listener is up.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "service never became healthy (see $TMP/manetd.log)"
+    kill -0 "$PID" 2>/dev/null || fail "manetd exited during startup: $(cat "$TMP/manetd.log")"
+    sleep 0.1
+done
+echo "serve-smoke: healthy on $BASE"
+
+# Submit the baseline preset — the same spec the golden corpus pins.
+curl -fsS -d '{"presets": ["baseline"]}' "$BASE/v1/campaigns" >"$TMP/submit.json" ||
+    fail "submission rejected: $(cat "$TMP/submit.json" 2>/dev/null)"
+ID="$(sed -n 's/^ *"id": *"\(c-[0-9]*\)".*/\1/p' "$TMP/submit.json" | head -1)"
+[ -n "$ID" ] && echo "serve-smoke: submitted campaign $ID" || fail "no campaign ID in $(cat "$TMP/submit.json")"
+
+# Poll to a terminal state. The campaign's own state is the first
+# "state" field in the snapshot (runs follow).
+i=0
+while :; do
+    curl -fsS "$BASE/v1/campaigns/$ID" >"$TMP/status.json"
+    STATE="$(sed -n 's/^ *"state": *"\([a-z]*\)".*/\1/p' "$TMP/status.json" | head -1)"
+    case "$STATE" in
+    done) break ;;
+    failed | canceled) fail "campaign finished $STATE: $(cat "$TMP/status.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "campaign stuck in state '$STATE'"
+    sleep 0.1
+done
+
+DIGEST="$(sed -n 's/^ *"digest": *"\([0-9a-f]*\)".*/\1/p' "$TMP/status.json" | head -1)"
+WANT="$(sed -n 's/^hash: //p' testdata/golden/baseline.golden)"
+[ -n "$DIGEST" ] || fail "finished campaign carries no digest"
+[ "$DIGEST" = "$WANT" ] || fail "digest $DIGEST != pinned golden $WANT"
+echo "serve-smoke: digest $DIGEST matches testdata/golden/baseline.golden"
+
+# The metrics surface must reflect the one campaign and its one run.
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+for WANTLINE in \
+    "manetd_campaigns_submitted_total 1" \
+    "manetd_campaigns_completed_total 1" \
+    "manetd_runs_total 1" \
+    "manetd_queue_depth 0" \
+    "manetd_run_latency_seconds_count 1"; do
+    grep -q "^$WANTLINE\$" "$TMP/metrics.txt" ||
+        fail "/metrics missing '$WANTLINE': $(cat "$TMP/metrics.txt")"
+done
+echo "serve-smoke: /metrics reflects the run"
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "manetd did not exit within 30s of SIGTERM"
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null && RC=0 || RC=$?
+PID=""
+[ "$RC" -eq 0 ] || fail "manetd exited $RC after SIGTERM: $(cat "$TMP/manetd.log")"
+grep -q "drained cleanly" "$TMP/manetd.log" || fail "no clean-drain message: $(cat "$TMP/manetd.log")"
+
+echo "serve-smoke: PASS"
