@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update serve-smoke serve-load fuzz lint clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update serve-smoke serve-load fuzz lint lint-external reprolint lint-fix clean
 
 check: fmt vet build test
 
@@ -81,17 +81,40 @@ fuzz:
 	$(GO) test -fuzz='^FuzzVerifyInclusion$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzBinaryRoundTrip$$' -fuzztime=30s ./internal/core
 
-# Static analysis beyond go vet: staticcheck (correctness + style) and
-# govulncheck (known-vulnerability reachability). Both resolve through
-# `go run`, so no separately installed binary is needed — just network
-# access to the module proxy on first use. CI runs the same pair in the
-# lint job.
+# reprolint: the in-repo determinism & hot-path analyzer suite
+# (DESIGN.md §12) — detwalltime, detmapiter, detseed, allocann. Builds
+# from this module with the standard library only, so it runs offline;
+# exits non-zero with file:line findings grouped by analyzer.
+reprolint:
+	$(GO) run ./cmd/reprolint ./...
+
+# Static analysis: reprolint first (ours, offline, enforces the
+# determinism discipline), then staticcheck (correctness + style) and
+# govulncheck (known-vulnerability reachability). The latter two
+# resolve through `go run`, so no separately installed binary is
+# needed — just network access to the module proxy on first use. CI
+# runs the same sequence in the lint job.
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-lint:
+lint: reprolint lint-external
+
+lint-external:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# lint-fix is a documentation stub for the two reprolint finding
+# classes with a mechanical remedy; the rewrites are manual for now:
+#   - sort-after-range (detmapiter): collect the map's keys or values
+#     into a slice inside the range, then sort.*/slices.Sort* the slice
+#     immediately after the loop (or iterate an already-sorted key
+#     slice) — see internal/olsr/hello.go and detect.finalize.
+#   - presized-append (allocann): replace `var s []T` + append-in-loop
+#     with `s := make([]T, 0, n)` when n is known, or reuse a retained
+#     scratch field truncated with s[:0] — see internal/olsr scratch.
+lint-fix:
+	@echo "reprolint has no auto-fixer yet; see the lint-fix comment in Makefile"
+	@echo "for the manual rewrites (sort-after-range, presized-append)."
 
 clean:
 	$(GO) clean ./...

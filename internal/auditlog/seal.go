@@ -95,6 +95,8 @@ func nodeHash(left, right Hash) Hash {
 }
 
 // chainStep extends the forward-secure chain: H(0x02 || chain || leaf).
+//
+//repro:allocfree
 func chainStep(chain, leaf Hash) Hash {
 	var buf [1 + 2*HashSize]byte
 	buf[0] = prefixChain
@@ -106,6 +108,8 @@ func chainStep(chain, leaf Hash) Hash {
 // keyStep evolves the sealing key one epoch forward: H(0x03 || key). The
 // step is one-way, which is the whole point — knowing k_i reveals nothing
 // about k_{i-1}.
+//
+//repro:allocfree
 func keyStep(key Hash) Hash {
 	var buf [1 + HashSize]byte
 	buf[0] = prefixKeyStep
@@ -131,6 +135,8 @@ func DeriveSealKey(material []byte) Hash {
 // input) and the domain byte separates it from every other hash in the
 // package. One Sum256 per record instead of crypto/hmac's four hash
 // states matters: every audit record of every node pays this.
+//
+//repro:allocfree
 func sealTag(key, chain Hash) Hash {
 	var buf [1 + 2*HashSize]byte
 	buf[0] = prefixTag
@@ -345,6 +351,12 @@ func (s *seal) root() Hash {
 	return r
 }
 
+// append seals one record: leaf hash, chain step, epoch tag, key
+// evolution — the per-record hot path the PR 4 benches pinned at ~4.3µs
+// and zero allocations (leaves/tags appends amortize into retained
+// capacity).
+//
+//repro:allocfree
 func (s *seal) append(r *Record) {
 	s.scratch = append(s.scratch[:0], prefixLeaf)
 	s.scratch = r.appendLine(s.scratch)

@@ -1,0 +1,16 @@
+package allocann_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocann"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnnotatedAllocations(t *testing.T) {
+	linttest.Run(t, allocann.Analyzer, "testdata/annotated", "repro/internal/trust")
+}
+
+func TestAmortizedIdiomsAndSuppression(t *testing.T) {
+	linttest.Run(t, allocann.Analyzer, "testdata/clean", "repro/internal/wire")
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the allocation idioms flagged inside
+// //repro:allocfree-annotated functions. allocann is import-path
+// agnostic (the annotation itself opts a function in), so the test
+// loads this under an arbitrary module path.
+package fixture
+
+import "fmt"
+
+// label renders with fmt on the annotated path.
+//
+//repro:allocfree
+func label(n int) string {
+	return fmt.Sprintf("node-%d", n) // want `fmt\.Sprintf in //repro:allocfree label allocates`
+}
+
+// tableau builds maps per call.
+//
+//repro:allocfree
+func tableau(keys []int) int {
+	seen := map[int]bool{}   // want `map literal in //repro:allocfree tableau allocates`
+	idx := make(map[int]int) // want `make\(map\[int\]int\) in //repro:allocfree tableau allocates`
+	for _, k := range keys {
+		seen[k] = true
+		idx[k] = len(idx)
+	}
+	return len(seen) + len(idx)
+}
+
+// joined re-allocates the accumulator per iteration.
+//
+//repro:allocfree
+func joined(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= in a loop in //repro:allocfree joined`
+	}
+	return out
+}
+
+// grown appends onto a fresh un-presized local.
+//
+//repro:allocfree
+func grown(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append onto fresh un-presized slice "out"`
+	}
+	return out
+}
+
+// converted allocates a string per element.
+//
+//repro:allocfree
+func converted(rows [][]byte) int {
+	n := 0
+	for _, b := range rows {
+		n += len(string(b)) // want `string\(\.\.\.\) conversion in a loop`
+	}
+	return n
+}

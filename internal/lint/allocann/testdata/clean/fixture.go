@@ -1,0 +1,58 @@
+// Package fixture shows the amortized idioms allocann accepts, plus
+// an audited cold-path suppression; nothing here is reported.
+package fixture
+
+import "fmt"
+
+type store struct {
+	scratch []int
+}
+
+// unannotated makes no contract, so nothing is checked.
+func unannotated(n int) string {
+	return fmt.Sprintf("node-%d", n)
+}
+
+// presized appends within a single up-front allocation.
+//
+//repro:allocfree
+func presized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// intoParam appends into caller-owned storage — the AppendTo idiom the
+// wire codec uses.
+//
+//repro:allocfree
+func intoParam(dst []byte, xs []byte) []byte {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// intoField reuses retained scratch.
+//
+//repro:allocfree
+func (s *store) intoField(xs []int) {
+	s.scratch = s.scratch[:0]
+	for _, x := range xs {
+		s.scratch = append(s.scratch, x)
+	}
+}
+
+// coldPath allocates only on a once-per-run error transition, under an
+// audited suppression.
+//
+//repro:allocfree
+func coldPath(failed bool, n int) string {
+	if failed {
+		//reprolint:ignore allocann error transition fires at most once per run
+		return fmt.Sprintf("node-%d failed", n)
+	}
+	return ""
+}

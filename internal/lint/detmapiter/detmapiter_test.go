@@ -1,0 +1,23 @@
+package detmapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detmapiter"
+	"repro/internal/lint/linttest"
+)
+
+func TestOrderDependentBodies(t *testing.T) {
+	linttest.Run(t, detmapiter.Analyzer, "testdata/det", "repro/internal/sim")
+}
+
+// TestSortedAfterRange is the detect.finalize regression guard: the
+// fixture reconstructs the shipped (sorted) finalize, and removing its
+// sort makes the analyzer report the append and this test fail.
+func TestSortedAfterRange(t *testing.T) {
+	linttest.Run(t, detmapiter.Analyzer, "testdata/sorted", "repro/internal/sim")
+}
+
+func TestServiceLayerExempt(t *testing.T) {
+	linttest.Run(t, detmapiter.Analyzer, "testdata/svc", "repro/internal/campaign")
+}

@@ -1,0 +1,96 @@
+// Package fixture reconstructs the order-dependent map-iteration bug
+// classes; the test loads it under the deterministic import path
+// repro/internal/sim.
+package fixture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+)
+
+type verifyReq struct {
+	id   uint64
+	node int
+}
+
+type inv struct {
+	pending map[uint64]verifyReq
+}
+
+// finalizeUnsorted reconstructs the PR 2 detect.finalize bug: evidence
+// collected straight off the pending map and never re-ordered, so the
+// retained slice inherits Go's per-run random iteration order.
+func finalizeUnsorted(v *inv) []verifyReq {
+	obs := make([]verifyReq, 0, len(v.pending))
+	for _, req := range v.pending {
+		obs = append(obs, req) // want `slice obs is appended during map iteration .* never sorted before use`
+	}
+	return obs
+}
+
+// concatKeys bakes the iteration order into a string.
+func concatKeys(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string built across map iteration`
+	}
+	return out
+}
+
+// hashValues chains map entries into a digest: no later sort can
+// repair a chained hash.
+func hashValues(m map[uint64]uint64, h hash.Hash64) {
+	var buf [8]byte
+	for k, v := range m {
+		binary.BigEndian.PutUint64(buf[:], k^v)
+		h.Write(buf[:]) // want `Hash64\.Write during map iteration`
+	}
+}
+
+// fprintRows streams rows in map order.
+func fprintRows(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf during map iteration`
+	}
+}
+
+// auditLog stands in for the sealed record stream: Record appends an
+// ordered record that cannot be re-sorted once sealed.
+type auditLog struct{ n int }
+
+func (l *auditLog) Record(kind string) { l.n++ }
+
+func emitRecords(m map[int]int, log *auditLog) {
+	for range m {
+		log.Record("evt") // want `Record during map iteration .* emits ordered records`
+	}
+}
+
+// Scheduler mirrors sim.Scheduler (the fixture loads under the
+// internal/sim import path): each post draws a sequence number, so
+// call order is event order.
+type Scheduler struct{ seq int }
+
+func (s *Scheduler) At(when int64, fn func()) { s.seq++ }
+
+func postEvents(m map[int]func(), s *Scheduler) {
+	for _, fn := range m {
+		s.At(0, fn) // want `scheduler event posted during map iteration`
+	}
+}
+
+// appendCaptured appends to a slice owned by the enclosing function:
+// flagged unconditionally, because the closure cannot see whether its
+// owner ever sorts it.
+func appendCaptured(m map[int]int) []int {
+	var out []int
+	collect := func() {
+		for k := range m {
+			out = append(out, k) // want `append to out \(declared outside this function\)`
+		}
+	}
+	collect()
+	return out
+}

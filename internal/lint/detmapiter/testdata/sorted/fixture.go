@@ -1,0 +1,91 @@
+// Package fixture shows the sorted-after-range idioms the analyzer
+// accepts, loaded under the deterministic import path repro/internal/
+// sim. Nothing here is flagged — and that is itself the regression
+// guard: deleting any of the sorts makes the analyzer report the
+// append and this fixture fail.
+package fixture
+
+import (
+	"slices"
+	"sort"
+)
+
+type verifyReq struct {
+	id   uint64
+	node int
+}
+
+type inv struct {
+	pending map[uint64]verifyReq
+}
+
+// finalizeSorted reconstructs the *shipped* detect.finalize: the
+// SortFunc after the range imposes a total order on the map-fed slice,
+// which is exactly what the PR 2 fix added.
+func finalizeSorted(v *inv) []verifyReq {
+	obs := make([]verifyReq, 0, len(v.pending))
+	for _, req := range v.pending {
+		obs = append(obs, req)
+	}
+	slices.SortFunc(obs, func(a, b verifyReq) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return a.node - b.node
+		}
+	})
+	return obs
+}
+
+// sortedKeys is the collect-then-sort key idiom used all over the OLSR
+// plane.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice uses sort.Slice on the collected values.
+func sortSlice(m map[int]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// nodeList carries its own Sort method — the receiver-sort idiom.
+type nodeList []int
+
+func (n nodeList) Sort() { slices.Sort(n) }
+
+func methodSort(m map[int]bool) nodeList {
+	var out nodeList
+	for k := range m {
+		out = append(out, k)
+	}
+	out.Sort()
+	return out
+}
+
+// commutative bodies are harmless: deletes, counter folds and map
+// writes do not observe iteration order structurally.
+func commutative(m map[int]int, dead map[int]bool, mirror map[int]int) int {
+	total := 0
+	for k, v := range m {
+		if dead[k] {
+			delete(m, k)
+			continue
+		}
+		mirror[k] = v
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package fixture mirrors the unsorted-finalize shape of the det
+// fixture, but the test loads it under repro/internal/campaign: the
+// service layer is outside the determinism discipline, so nothing is
+// flagged.
+package fixture
+
+func campaignAggregate(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package detseed_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detseed"
+	"repro/internal/lint/linttest"
+)
+
+func TestUnderivedSeeds(t *testing.T) {
+	linttest.Run(t, detseed.Analyzer, "testdata/det", "repro/internal/sim")
+}
+
+func TestDerivedSeeds(t *testing.T) {
+	linttest.Run(t, detseed.Analyzer, "testdata/seeded", "repro/internal/sim")
+}
+
+func TestServiceLayerExempt(t *testing.T) {
+	linttest.Run(t, detseed.Analyzer, "testdata/svc", "repro/internal/campaign")
+}

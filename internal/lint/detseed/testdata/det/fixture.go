@@ -1,0 +1,26 @@
+// Package fixture exercises seed-provenance violations; the test
+// loads it under the deterministic import path repro/internal/sim.
+package fixture
+
+import "math/rand"
+
+// literalSeed decouples the stream from the spec seed outright.
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource seed in deterministic package .* does not flow from DeriveSeed`
+}
+
+// counter is the classic drifting seed: deterministic-looking, but a
+// function of call order, not of the spec seed.
+var counter int64
+
+func counterSeed() rand.Source {
+	counter++
+	return rand.NewSource(counter) // want `does not flow from DeriveSeed`
+}
+
+// leakStream hands a single-threaded stream to a goroutine.
+func leakStream(r *rand.Rand) {
+	go func() {
+		_ = r.Intn(10) // want `\*rand\.Rand "r" captured by go closure`
+	}()
+}

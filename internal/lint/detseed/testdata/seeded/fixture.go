@@ -1,0 +1,46 @@
+// Package fixture shows the blessed seed-derivation forms, loaded
+// under the deterministic import path repro/internal/sim; nothing here
+// is flagged.
+package fixture
+
+import "math/rand"
+
+// DeriveSeed stands in for the engine's derivation chain (the
+// analyzer recognizes the name wherever it resolves).
+func DeriveSeed(root uint64, parts ...uint64) int64 {
+	h := root
+	for _, p := range parts {
+		h = h*1099511628211 ^ p
+	}
+	return int64(h)
+}
+
+type spec struct {
+	Seed int64
+}
+
+// derived feeds the constructor straight from the derivation chain.
+func derived(root uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(root, 7)))
+}
+
+// namedConduit trusts a seed-named parameter: its call sites are
+// checked where the value is produced.
+func namedConduit(trialSeed int64) *rand.Rand {
+	return rand.New(rand.NewSource(trialSeed))
+}
+
+// fromSpec reads the seed off a spec field; arithmetic on a seed value
+// is still seed-derived.
+func fromSpec(s spec) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed ^ 0x9e3779b9))
+}
+
+// perGoroutine derives a fresh stream inside the goroutine instead of
+// capturing one: capturing the int64 seed is fine, capturing a
+// *rand.Rand is not.
+func perGoroutine(seed int64, work func(*rand.Rand)) {
+	go func() {
+		work(rand.New(rand.NewSource(seed)))
+	}()
+}

@@ -1,0 +1,10 @@
+// Package fixture seeds from an ad-hoc literal, but the test loads it
+// under repro/internal/campaign: seed provenance binds only the
+// deterministic packages.
+package fixture
+
+import "math/rand"
+
+func jitterSource() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}

@@ -1,0 +1,102 @@
+// Package detwalltime forbids ambient-environment reads — wall-clock
+// time, process sleep, environment variables, and the global math/rand
+// stream — inside the deterministic packages.
+//
+// Inside the simulation kernel, time comes from sim.Scheduler.Now and
+// entropy from seed-derived *rand.Rand streams (DeriveSeed/TrialSeed);
+// any call into the process's ambient environment makes two runs of the
+// same spec diverge, which the golden corpus only catches when the
+// divergence happens to reach a digest. The analyzer flags every
+// reference (call or value use, so `cfg.Now = time.Now` is caught too)
+// at the source level. Service-layer packages (campaign, manetd,
+// cliutil, cmd/...) are exempt: they genuinely run in wall-clock time.
+package detwalltime
+
+import (
+	"go/ast"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the detwalltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detwalltime",
+	Doc: "forbid wall-clock time, sleeps, env reads and the global math/rand " +
+		"stream in deterministic packages (sim time comes from the scheduler, " +
+		"entropy from derived seed streams)",
+	Run: run,
+}
+
+// forbidden maps package path -> identifier -> the reason it is banned.
+// For math/rand the logic is inverted: everything package-level is
+// banned except the constructors that feed an explicit stream.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "simulated time comes from sim.Scheduler.Now",
+		"Since":     "simulated time comes from sim.Scheduler.Now",
+		"Until":     "simulated time comes from sim.Scheduler.Now",
+		"Sleep":     "use scheduler events (sim.Scheduler.At/After), never process sleep",
+		"After":     "use scheduler events (sim.Scheduler.At/After), never process timers",
+		"AfterFunc": "use scheduler events (sim.Scheduler.At/After), never process timers",
+		"Tick":      "use sim.Scheduler.Every, never process tickers",
+		"NewTicker": "use sim.Scheduler.Every, never process tickers",
+		"NewTimer":  "use scheduler events (sim.Scheduler.At/After), never process timers",
+	},
+	"os": {
+		"Getenv":    "configuration must arrive through the scenario Spec, not the environment",
+		"LookupEnv": "configuration must arrive through the scenario Spec, not the environment",
+		"Environ":   "configuration must arrive through the scenario Spec, not the environment",
+	},
+}
+
+// randAllowed are the math/rand package-level names that construct or
+// parameterize an explicit stream rather than drawing from the global
+// one.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Zipf":      true, // the distribution type
+	"Source":    true, // the interface type
+	"Rand":      true, // the stream type
+	// math/rand/v2 explicit-stream constructors and types.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lint.Deterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := analysis.PkgNameOf(pass.TypesInfo, sel.X)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "time", "os":
+				if why, bad := forbidden[pkgPath][name]; bad {
+					pass.Reportf(sel.Pos(), "%s.%s in deterministic package %s: %s",
+						pkgPath, name, pass.Path, why)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[name] && ast.IsExported(name) {
+					pass.Reportf(sel.Pos(), "global math/rand.%s in deterministic package %s: "+
+						"draw from a derived *rand.Rand stream (DeriveSeed/TrialSeed) instead",
+						name, pass.Path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

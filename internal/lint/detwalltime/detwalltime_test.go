@@ -1,0 +1,20 @@
+package detwalltime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detwalltime"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, detwalltime.Analyzer, "testdata/det", "repro/internal/sim")
+}
+
+func TestServiceLayerExempt(t *testing.T) {
+	linttest.Run(t, detwalltime.Analyzer, "testdata/svc", "repro/internal/campaign")
+}
+
+func TestSuppressions(t *testing.T) {
+	linttest.Run(t, detwalltime.Analyzer, "testdata/suppress", "repro/internal/sim")
+}

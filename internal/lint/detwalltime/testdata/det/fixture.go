@@ -1,0 +1,35 @@
+// Package fixture exercises the detwalltime bans; the test loads it
+// under the deterministic import path repro/internal/sim.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock reads the ambient environment three ways.
+func wallClock() (time.Time, string) {
+	time.Sleep(time.Millisecond)  // want `time\.Sleep in deterministic package`
+	v := os.Getenv("REPRO_DEBUG") // want `os\.Getenv in deterministic package`
+	return time.Now(), v          // want `time\.Now in deterministic package`
+}
+
+// storedClock takes the function value instead of calling it — still a
+// wall-clock dependency, still flagged.
+func storedClock() func() time.Time {
+	return time.Now // want `time\.Now in deterministic package`
+}
+
+// globalStream draws from the shared math/rand stream.
+func globalStream() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in deterministic package`
+}
+
+// explicitStream builds a stream the blessed way; the constructors are
+// allowed (seed provenance is detseed's job, not detwalltime's), and
+// method calls on the explicit stream are not package-level uses.
+func explicitStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises the //reprolint:ignore mechanism, loaded
+// under the deterministic import path repro/internal/sim.
+package fixture
+
+import "time"
+
+// bridged carries an audited suppression: the marker names the
+// analyzer and a reason, so the finding on the next line is silenced.
+func bridged() time.Time {
+	//reprolint:ignore detwalltime fixture exercising an audited wall-clock exception
+	return time.Now()
+}
+
+// unreasoned carries a marker with no reason: it suppresses nothing
+// and is itself reported under the reprolint pseudo-analyzer.
+func unreasoned() time.Time {
+	/* want `malformed suppression` */ //reprolint:ignore detwalltime
+	return time.Now()                  // want `time\.Now in deterministic package`
+}
+
+// wrongAnalyzer names a different analyzer; the marker is well-formed
+// but does not cover a detwalltime finding.
+func wrongAnalyzer() time.Time {
+	//reprolint:ignore detmapiter a reason that does not transfer across analyzers
+	return time.Now() // want `time\.Now in deterministic package`
+}

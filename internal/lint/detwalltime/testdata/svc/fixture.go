@@ -1,0 +1,15 @@
+// Package fixture is byte-for-byte the bug pattern of the det fixture,
+// but the test loads it under repro/internal/campaign: the service
+// layer genuinely runs in wall-clock time, so nothing is flagged.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// serviceClock is legitimate service-layer code.
+func serviceClock() (time.Time, string) {
+	time.Sleep(time.Millisecond)
+	return time.Now(), os.Getenv("PORT")
+}

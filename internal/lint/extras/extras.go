@@ -1,0 +1,31 @@
+// Package extras is the mount point for the stock golang.org/x/tools
+// analyzers (nilness, shadow, unusedwrite) that reprolint is meant to
+// run alongside the four custom determinism checks.
+//
+// The build container for this repository has no module-proxy access,
+// so golang.org/x/tools cannot land as a dependency yet; the suite
+// runs on the stdlib-only mirror in internal/lint/analysis instead.
+// Once the dependency is available, the wiring is:
+//
+//	import (
+//	    "golang.org/x/tools/go/analysis/passes/nilness"
+//	    "golang.org/x/tools/go/analysis/passes/shadow"
+//	    "golang.org/x/tools/go/analysis/passes/unusedwrite"
+//	)
+//
+// adapt each to the local analysis.Analyzer shape (the field names
+// match by construction — see internal/lint/analysis), append them to
+// Analyzers, and delete this stub note. Until then Analyzers is empty
+// and reprolint -v prints the gap so nobody mistakes "no findings"
+// for "nilness ran clean".
+package extras
+
+import "repro/internal/lint/analysis"
+
+// Analyzers holds the stock extra analyzers. Empty until
+// golang.org/x/tools can be vendored (see the package comment).
+var Analyzers []*analysis.Analyzer
+
+// Missing names the stock analyzers that are configured but cannot run
+// in this build, for reprolint -v.
+var Missing = []string{"nilness", "shadow", "unusedwrite"}

@@ -1,0 +1,183 @@
+// Package linttest is the fixture harness for the reprolint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a fixture
+// directory of Go files carries `// want "regexp"` comments on the
+// lines where diagnostics are expected, the harness type-checks the
+// fixture (standard-library imports only), runs one analyzer, applies
+// the //reprolint:ignore suppression pass exactly like the real
+// runner, and diffs actual against expected.
+//
+// Because the deterministic-package rules key on import paths, each
+// fixture is loaded UNDER AN EXPLICIT IMPORT PATH chosen by the test:
+// "repro/internal/sim" puts the fixture in scope of the determinism
+// rules, "repro/internal/campaign" exercises the service-layer
+// exemption with identical source.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRe matches the expectation comment — one or more quoted regexps
+// after `want`, as a line comment or a `/* want ... */` block comment
+// (the block form exists for lines whose line comment is itself the
+// construct under test, e.g. a malformed suppression marker).
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)$`)
+
+// One fileset and one standard-library importer are shared by every
+// fixture run in the process: the source importer re-type-checks
+// GOROOT packages per instance, so sharing turns each fixture's std
+// imports into cache hits.
+var (
+	fset = token.NewFileSet()
+	std  = load.StdImporter(fset)
+)
+
+// Run type-checks the fixture directory under importPath, applies the
+// analyzer plus the suppression pass, and reports any mismatch against
+// the fixture's `// want` expectations as test errors.
+func Run(t *testing.T, an *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	files, err := load.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse fixture %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	info := load.NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    std,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	for _, e := range typeErrs {
+		t.Errorf("fixture %s: typecheck: %v", dir, e)
+	}
+	if len(typeErrs) > 0 {
+		return
+	}
+
+	// Route through the real runner so fixtures exercise the same
+	// suppression filtering and dedup the CLI applies.
+	findings, err := lint.RunAnalyzers(
+		[]*load.Package{{Path: importPath, Files: files, Types: pkg, Info: info}},
+		[]*analysis.Analyzer{an}, fset)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", an.Name, dir, err)
+	}
+
+	// Index actual diagnostics and expectations by file:line.
+	type key struct {
+		file string
+		line int
+	}
+	actual := make(map[key][]string)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		actual[k] = append(actual[k], f.Message)
+	}
+	expected := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(strings.TrimSuffix(strings.TrimSpace(m[1]), "*/"))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				k := key{pos.Filename, pos.Line}
+				expected[k] = append(expected[k], res...)
+			}
+		}
+	}
+
+	// Every expectation must match a diagnostic on its line (consuming
+	// it); every unconsumed diagnostic is unexpected.
+	for k, res := range expected {
+		for _, re := range res {
+			idx := -1
+			for i, msg := range actual[k] {
+				if re.MatchString(msg) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %s)",
+					k.file, k.line, re, fmtMsgs(actual[k]))
+				continue
+			}
+			actual[k] = append(actual[k][:idx], actual[k][idx+1:]...)
+		}
+	}
+	for k, msgs := range actual {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of one want comment.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		q, rest, err := cutQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(rest)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}
+
+// cutQuoted splits one leading Go-quoted string off s.
+func cutQuoted(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}
+
+// fmtMsgs renders remaining diagnostics for error messages.
+func fmtMsgs(msgs []string) string {
+	if len(msgs) == 0 {
+		return "none"
+	}
+	return strings.Join(msgs, " | ")
+}

@@ -1,0 +1,306 @@
+// Package load parses and type-checks the packages of this module for
+// the reprolint analyzers, using nothing but the standard library.
+//
+// Module-internal import paths ("repro/...") resolve to directories
+// under the go.mod root and are loaded recursively; standard-library
+// imports resolve through the compiler-independent source importer
+// (go/importer "source"), which type-checks GOROOT/src directly and so
+// works without pre-built export data, a module proxy, or network
+// access. Cgo is disabled for the build context so cgo-gated packages
+// (net, os/user) select their pure-Go fallbacks.
+//
+// Test files are excluded: the determinism discipline binds the
+// simulation kernel, not its test harnesses (tests may poll wall-clock
+// deadlines, seed throwaway RNGs, and so on — see DESIGN.md §12).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("repro/internal/trust").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results. Types is non-nil even
+	// when type-checking reported errors (it is then incomplete).
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds any type-check errors. Analyzers still run on
+	// packages with errors, but reprolint reports them separately.
+	Errs []error
+}
+
+// Loader loads module packages on demand and caches them by import
+// path.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module of dir (walking up to the
+// go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  root,
+		ModulePath: modPath,
+		std:        StdImporter(fset),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// StdImporter returns a standard-library importer that type-checks
+// GOROOT sources directly (no export data, no network). Cgo is
+// disabled process-wide so cgo-gated packages use their pure-Go
+// fallback files.
+func StdImporter(fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// inModule reports whether importPath belongs to this module.
+func (l *Loader) inModule(importPath string) bool {
+	return importPath == l.ModulePath || strings.HasPrefix(importPath, l.ModulePath+"/")
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// Load parses and type-checks the module package at importPath,
+// returning a cached result on repeat calls.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if !l.inModule(importPath) {
+		return nil, fmt.Errorf("%s: outside module %s", importPath, l.ModulePath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.dirFor(importPath)
+	files, err := ParseDir(l.Fset, dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files in %s", importPath, dir)
+	}
+
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Info: NewInfo()}
+	conf := types.Config{
+		Importer:    (*moduleImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	pkg.Types, _ = conf.Check(importPath, l.Fset, files, pkg.Info)
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// NewInfo allocates a fully-populated types.Info for one package check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ParseDir parses every non-test .go file of dir (with comments, which
+// the suppression scanner and the //repro:allocfree annotation need).
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// moduleImporter adapts the Loader into the types.Importer the
+// type-checker calls for each import: module-internal paths load
+// recursively, everything else is standard library via the source
+// importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(p string) (*types.Package, error) {
+	return m.ImportFrom(p, m.ModuleDir, 0)
+}
+
+func (m *moduleImporter) ImportFrom(p, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l := (*Loader)(m)
+	if l.inModule(p) {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(p, dir, mode)
+}
+
+// Expand resolves package patterns ("./...", "./internal/trust",
+// "repro/internal/wire", "internal/...") to the sorted list of
+// module-internal import paths they cover.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "." || pat == "" {
+			pat = "..."
+		}
+		recursive := false
+		if pat == "..." {
+			recursive, pat = true, ""
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		pat = strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+		root := filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			add(l.importPathFor(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(l.importPathFor(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importPathFor maps an absolute directory under the module root to
+// its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return path.Join(l.ModulePath, filepath.ToSlash(rel))
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

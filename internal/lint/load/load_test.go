@@ -1,0 +1,58 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandSkipsFixtures(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", l.ModulePath)
+	}
+	paths, err := l.Expand([]string{"repro/internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, p := range paths {
+		got[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Expand leaked a fixture dir: %s", p)
+		}
+	}
+	for _, want := range []string{
+		"repro/internal/lint",
+		"repro/internal/lint/detwalltime",
+		"repro/internal/lint/detmapiter",
+		"repro/internal/lint/detseed",
+		"repro/internal/lint/allocann",
+	} {
+		if !got[want] {
+			t.Errorf("Expand missing %s (got %v)", want, paths)
+		}
+	}
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks GOROOT sources")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("repro/internal/addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pkg.Errs {
+		t.Errorf("typecheck: %v", e)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "addr" {
+		t.Errorf("loaded package = %v, want addr", pkg.Types)
+	}
+}

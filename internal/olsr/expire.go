@@ -1,6 +1,8 @@
 package olsr
 
 import (
+	"slices"
+
 	"repro/internal/auditlog"
 )
 
@@ -18,26 +20,50 @@ func (n *Node) expire() {
 			changed = true
 		}
 	}
-	for via, cover := range n.twoHop {
+	// The 2-hop and selector passes emit audit records, and record order
+	// is observable (the log is hash-chained when sealing is armed), so
+	// the expiring keys are collected and sorted before any tuple is
+	// dropped — two tuples expiring in the same pass must log in the
+	// same order every run (reprolint detmapiter; DESIGN.md §12).
+	vias := n.viaScratch[:0]
+	for via := range n.twoHop {
+		vias = append(vias, via)
+	}
+	slices.Sort(vias)
+	n.viaScratch = vias
+	for _, via := range vias {
+		cover := n.twoHop[via]
+		down := n.nodeScratch[:0]
 		for b, until := range cover {
 			if until <= now {
-				delete(cover, b)
-				n.log(auditlog.KindTwoHopDown,
-					auditlog.FNode("via", via), auditlog.FNode("twohop", b))
-				changed = true
+				down = append(down, b)
 			}
+		}
+		slices.Sort(down)
+		n.nodeScratch = down
+		for _, b := range down {
+			delete(cover, b)
+			n.log(auditlog.KindTwoHopDown,
+				auditlog.FNode("via", via), auditlog.FNode("twohop", b))
+			changed = true
 		}
 		if len(cover) == 0 {
 			delete(n.twoHop, via)
 		}
 	}
+	expired := n.viaScratch[:0]
 	for x, until := range n.selectors {
 		if until <= now {
-			delete(n.selectors, x)
-			n.ansn++
-			n.log(auditlog.KindMPRSelector,
-				auditlog.FNodes("selectors", n.selectorsSorted(n.nodeScratch[:0])))
+			expired = append(expired, x)
 		}
+	}
+	slices.Sort(expired)
+	n.viaScratch = expired
+	for _, x := range expired {
+		delete(n.selectors, x)
+		n.ansn++
+		n.log(auditlog.KindMPRSelector,
+			auditlog.FNodes("selectors", n.selectorsSorted(n.nodeScratch[:0])))
 	}
 	for last, e := range n.topo {
 		for d, until := range e.dests {

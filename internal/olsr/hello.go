@@ -32,12 +32,17 @@ func (n *Node) buildHello() *wire.Hello {
 			cat[3] = append(cat[3], x)
 		}
 	}
+	// Sort each category straight after the map walk — the wire order of
+	// every link block must not inherit map iteration order (reprolint
+	// detmapiter wants the sort adjacent to the range that feeds it).
+	for i := range cat {
+		slices.Sort(cat[i])
+	}
 	h := &wire.Hello{HTime: n.cfg.HelloInterval, Will: n.cfg.Willingness}
 	add := func(code wire.LinkCode, nodes []addr.Node) {
 		if len(nodes) == 0 {
 			return
 		}
-		slices.Sort(nodes)
 		h.Links = append(h.Links, wire.LinkBlock{Code: code, Neighbors: nodes})
 	}
 	add(wire.MakeLinkCode(wire.NeighMPR, wire.LinkSym), cat[0])

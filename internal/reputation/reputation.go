@@ -192,6 +192,8 @@ func (l *Ledger) BuildVector() []Entry {
 // AppendVector is BuildVector appending into a caller-owned slice — the
 // gossip tick reuses one across emissions instead of allocating a vector
 // per period.
+//
+//repro:allocfree
 func (l *Ledger) AppendVector(out []Entry) []Entry {
 	l.nodeScratch = l.direct.NodesInto(l.nodeScratch[:0]) // sorted
 	appended := 0
@@ -216,6 +218,8 @@ func (l *Ledger) AppendVector(out []Entry) []Entry {
 // is itself only a gossip seed is no anchor (testing against it would
 // reject honest gossip that disagrees with the first rumor heard);
 // untestable entries are accepted on the recommender's standing alone.
+//
+//repro:allocfree
 func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duration) {
 	if recommender == l.self || len(entries) == 0 {
 		return
@@ -271,6 +275,7 @@ func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duratio
 			l.flagged.Add(recommender)
 			l.stats.Flagged++
 			if l.OnDishonest != nil {
+				//reprolint:ignore allocann fires at most once per recommender per run (flag transition), never on the steady gossip path the alloc tier pins
 				l.OnDishonest(recommender, fmt.Sprintf(
 					"%d gossiped trust vectors majority-failed the deviation test", l.cfg.DishonestAfter))
 			}

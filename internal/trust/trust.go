@@ -199,6 +199,8 @@ func (s *Store) slot(n addr.Node) int {
 func (s *Store) Params() Params { return s.params }
 
 // Get returns the trust in n, or the default for unknown nodes.
+//
+//repro:allocfree
 func (s *Store) Get(n addr.Node) float64 {
 	if sl, ok := s.ix.Slot(n); ok && sl < len(s.state) && s.state[sl] != slotAbsent {
 		return s.vals[sl]
@@ -263,6 +265,8 @@ func (s *Store) Forget(n addr.Node) {
 //	T(A,I)_Δt = Σ_j α_j·e_j + β·T(A,I)_Δ(t−1)
 //
 // and returns the new (clamped) trust.
+//
+//repro:allocfree
 func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
 	sum := 0.0
 	for _, ev := range evidence {
@@ -318,6 +322,8 @@ func (s *Store) relaxed(t float64) float64 {
 
 // RelaxAll applies Relax to every known node — a linear walk over the
 // value slab, no per-node lookups.
+//
+//repro:allocfree
 func (s *Store) RelaxAll() {
 	for sl, st := range s.state {
 		if st != slotAbsent {
@@ -334,6 +340,8 @@ func (s *Store) Nodes() []addr.Node {
 // NodesInto appends the nodes with explicit trust values to out in
 // ascending address order and returns the extended slice — the
 // allocation-free variant of Nodes, mirroring Medium.NeighborsInto.
+//
+//repro:allocfree
 func (s *Store) NodesInto(out []addr.Node) []addr.Node {
 	start := len(out)
 	for sl, st := range s.state {

@@ -570,6 +570,8 @@ func (p *Packet) Encode() []byte {
 // Emission hot paths pass a retained buffer (dst[:0]) so steady-state
 // encoding allocates nothing. Every byte of the encoding is written, so
 // stale buffer contents cannot leak into the output.
+//
+//repro:allocfree
 func (p *Packet) AppendTo(dst []byte) []byte {
 	size := p.EncodedSize()
 	start := len(dst)

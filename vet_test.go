@@ -25,6 +25,25 @@ func TestGoVetClean(t *testing.T) {
 	}
 }
 
+// TestReproLintClean keeps the tree clean under the in-repo analyzer
+// suite (cmd/reprolint: detwalltime, detmapiter, detseed, allocann —
+// see DESIGN.md §12). Findings print as file:line:col grouped by
+// analyzer; intentional exceptions take an audited
+// `//reprolint:ignore <analyzer> <reason>` marker.
+func TestReproLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	out, err := exec.Command(goBin, "run", "./cmd/reprolint", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/reprolint ./... failed: %v\n%s", err, out)
+	}
+}
+
 func TestGofmtClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the gofmt tool")
