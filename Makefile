@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update serve-smoke serve-load fuzz lint lint-external reprolint lint-fix clean
+.PHONY: check fmt vet build test test-short race bench golden golden-update scale scale-update alloc alloc-update serve-smoke serve-load trace-smoke fuzz lint lint-external reprolint lint-fix clean
 
 check: fmt vet build test
 
@@ -72,6 +72,14 @@ serve-smoke:
 serve-load:
 	$(GO) run ./cmd/idsbench -serve-load -campaigns 1000 -tenants 8
 
+# Run-trace plane smoke (scripts/trace_smoke.sh): trace a preset twice
+# with the same seed and require `reprotrace diff` to find zero
+# divergences, reseed and require a reported first divergence, then
+# require `reprotrace stats` to parse the trace. CI runs it as the
+# trace-smoke job.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # Short local fuzz pass over the codecs and the proof verifier (CI runs
 # the same budget per target).
 fuzz:
@@ -80,6 +88,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzVerifyInclusion$$' -fuzztime=30s ./internal/auditlog
 	$(GO) test -fuzz='^FuzzBinaryRoundTrip$$' -fuzztime=30s ./internal/core
+	$(GO) test -fuzz='^FuzzEventRoundTrip$$' -fuzztime=30s ./internal/trace
 
 # reprolint: the in-repo determinism & hot-path analyzer suite
 # (DESIGN.md §12) — detwalltime, detmapiter, detseed, allocann. Builds

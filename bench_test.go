@@ -25,6 +25,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/trust"
 	"repro/internal/wire"
 )
@@ -346,6 +347,37 @@ func BenchmarkScenarioLinkspoof(b *testing.B) {
 			b.Fatal("spoofer not convicted")
 		}
 	}
+}
+
+// BenchmarkScenarioTrace prices the run-trace plane (DESIGN.md §13):
+// the headline preset with the sink off (the nil-tracer branch every
+// emission site pays) and on (a Recorder accumulating the full NDJSON
+// stream). BENCH_PR10.json records the off/on overhead.
+func BenchmarkScenarioTrace(b *testing.B) {
+	spec, err := scenario.Resolve("linkspoof")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := &trace.Recorder{}
+			if _, err := scenario.RunTraced(spec, rec); err != nil {
+				b.Fatal(err)
+			}
+			if rec.Len() == 0 {
+				b.Fatal("no events recorded")
+			}
+		}
+	})
 }
 
 // BenchmarkScenarioReputation prices the reputation plane (DESIGN.md

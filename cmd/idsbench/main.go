@@ -30,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiment"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -45,7 +47,8 @@ func main() {
 }
 
 func run() error {
-	camp := cliutil.Bind(flag.CommandLine, 1, "root seed; per-trial seeds are derived from it")
+	camp := cliutil.Bind(flag.CommandLine, 1, "root seed; per-trial seeds are derived from it").
+		BindTrace("NDJSON run-trace directory for -sweep scenarios (one trace per preset)")
 	var (
 		sweep     = flag.String("sweep", "ablation", "mobility, size, ci, ablation, baselines, scenarios, scale, forgers or recommenders")
 		runs      = flag.Int("runs", 3, "trials per point (mobility sweep)")
@@ -116,7 +119,7 @@ func run() error {
 				specs[i].Seed = *seed
 			}
 		}
-		digests, err := eng.ScenarioMatrix(specs)
+		digests, err := runScenarioMatrix(eng, camp, specs)
 		if err != nil {
 			return err
 		}
@@ -124,6 +127,9 @@ func run() error {
 		fmt.Printf("%-18s %-16s\n", "scenario", "digest")
 		for i, d := range digests {
 			fmt.Printf("%-18s %-16s\n", specs[i].Name, d.Hash)
+		}
+		if camp.HasTrace() {
+			fmt.Printf("traces: %s/<scenario>.ndjson\n", camp.Trace)
 		}
 
 	case "scale":
@@ -211,4 +217,37 @@ func run() error {
 		return fmt.Errorf("unknown -sweep %q", *sweep)
 	}
 	return nil
+}
+
+// runScenarioMatrix runs the preset matrix; with -trace it additionally
+// writes one NDJSON run trace per preset into the named directory. The
+// digests are identical either way — tracing is pure observation — so
+// the traced matrix is still the golden-corpus check.
+func runScenarioMatrix(eng *experiment.Runner, camp *cliutil.Campaign, specs []scenario.Spec) ([]scenario.Digest, error) {
+	if !camp.HasTrace() {
+		return eng.ScenarioMatrix(specs)
+	}
+	if err := os.MkdirAll(camp.Trace, 0o755); err != nil {
+		return nil, fmt.Errorf("trace dir: %w", err)
+	}
+	digests := make([]scenario.Digest, len(specs))
+	for i, s := range specs {
+		f, err := os.Create(filepath.Join(camp.Trace, s.Name+".ndjson")) //nolint:gosec // operator-supplied directory
+		if err != nil {
+			return nil, err
+		}
+		sink := trace.NewWriter(f)
+		res, err := scenario.RunTraced(s, sink)
+		if err == nil {
+			err = sink.Err()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		digests[i] = res.Digest()
+	}
+	return digests, nil
 }

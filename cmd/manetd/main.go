@@ -52,19 +52,23 @@ func run() error {
 		quotaRate    = flag.Float64("quota-rate", 0, "sustained submissions/sec per tenant (0 = unlimited)")
 		quotaBurst   = flag.Int("quota-burst", 0, "submission burst per tenant (0 = derived from rate)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running campaigns")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling surface; keep behind the trust boundary)")
 	)
 	flag.Parse()
 
-	srv := manetd.New(manetd.Config{Campaign: campaign.Config{
-		CampaignWorkers: *campWorkers,
-		RunWorkers:      *runWorkers,
-		MaxQueue:        *maxQueue,
-		Quota: campaign.Quota{
-			MaxActive:  *quotaActive,
-			RatePerSec: *quotaRate,
-			Burst:      *quotaBurst,
+	srv := manetd.New(manetd.Config{
+		Campaign: campaign.Config{
+			CampaignWorkers: *campWorkers,
+			RunWorkers:      *runWorkers,
+			MaxQueue:        *maxQueue,
+			Quota: campaign.Quota{
+				MaxActive:  *quotaActive,
+				RatePerSec: *quotaRate,
+				Burst:      *quotaBurst,
+			},
 		},
-	}})
+		EnablePprof: *enablePprof,
+	})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,7 +63,8 @@ func listScenarios() {
 
 func run() error {
 	camp := cliutil.Bind(flag.CommandLine, 1, "random seed (root seed with -trials > 1)").
-		BindScenario("named preset or spec file (see `manetsim list`)")
+		BindScenario("named preset or spec file (see `manetsim list`)").
+		BindTrace("NDJSON run-trace output: a file with -trials 1, a directory of per-trial files otherwise (scenario runs only)")
 	var (
 		nodes    = flag.Int("nodes", 16, "population size")
 		speed    = flag.Float64("speed", 0, "max node speed in m/s (0 = static)")
@@ -78,6 +80,9 @@ func run() error {
 	eng := camp.Engine()
 	if camp.HasScenario() {
 		return runScenario(eng, camp, *trials)
+	}
+	if camp.HasTrace() {
+		return fmt.Errorf("-trace needs a declarative scenario; combine it with -scenario")
 	}
 
 	var mode attack.SpoofMode
@@ -174,9 +179,36 @@ func runScenario(eng *experiment.Runner, camp *cliutil.Campaign, trials int) err
 	}
 	fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
 
-	results, err := eng.ScenarioTrials(spec, trials)
-	if err != nil {
-		return err
+	var results []*scenario.Result
+	switch {
+	case camp.HasTrace() && trials <= 1:
+		// One run, one NDJSON file — the reprotrace workflow's input.
+		sink, closeTrace, err := camp.OpenTrace()
+		if err != nil {
+			return err
+		}
+		res, err := scenario.RunTraced(spec, sink)
+		if cerr := closeTrace(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (%d events)\n", camp.Trace, sink.Events())
+		results = []*scenario.Result{res}
+	case camp.HasTrace():
+		// A trial fan writes one trace per trial into a directory; the
+		// file layout is experiment.TraceFileName.
+		results, err = eng.ScenarioTrialsTracedContext(context.Background(), spec, trials, camp.Trace)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traces: %s/%s .. %s\n", camp.Trace, experiment.TraceFileName(0), experiment.TraceFileName(trials-1))
+	default:
+		results, err = eng.ScenarioTrials(spec, trials)
+		if err != nil {
+			return err
+		}
 	}
 	scenarioReport(results[0])
 	if trials <= 1 {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// runExplain implements `reprotrace explain -node N run.ndjson`: the
+// causal chain behind node N's conviction, reconstructed from the
+// trace. It walks the run in emission order and keeps every event in
+// which N is the subject — the detector's evidence observations (which
+// claims, weighted by which testimony), N's trust trajectory at each
+// observer with threshold crossings called out, reputation vectors
+// about N, and the verdicts — so the answer to "why was N convicted?"
+// reads top to bottom.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	node := fs.String("node", "", "suspect to explain: a dotted quad (10.0.0.5) or a bare index (5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("explain needs -node <N>")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain takes exactly one trace file")
+	}
+	subject := *node
+	if i, err := strconv.Atoi(subject); err == nil && i > 0 {
+		subject = addr.NodeAt(i).String()
+	}
+	r, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return explain(r, subject)
+}
+
+// explain streams the trace and prints the subject's story.
+func explain(r io.Reader, subject string) error {
+	sc := trace.NewScanner(r)
+	matched := 0
+	convicted := false
+	for {
+		e, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		line, hit := describe(e, subject)
+		if !hit {
+			continue
+		}
+		matched++
+		fmt.Printf("%-12s %s\n", time.Duration(e.T), line)
+		if e.Plane == trace.PlaneDetect &&
+			((e.Kind == trace.KindVerdict && e.Msg == "intruder") || e.Kind == trace.KindForged) {
+			convicted = true
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no events about node %s in this trace", subject)
+	}
+	fmt.Println()
+	if convicted {
+		fmt.Printf("node %s: CONVICTED (%d supporting events above)\n", subject, matched)
+	} else {
+		fmt.Printf("node %s: not convicted in this trace (%d related events)\n", subject, matched)
+	}
+	return nil
+}
+
+// describe renders one event when it bears on the subject's story and
+// reports whether it does. The net/olsr planes are deliberately left
+// out — the conviction chain is trust, detection, reputation, and
+// evidence; the packet chatter around them drowns the narrative.
+func describe(e trace.Event, subject string) (string, bool) {
+	about := e.Node == subject || e.Peer == subject
+	switch {
+	case e.Plane == trace.PlaneTrust && e.Kind == trace.KindUpdate && e.Peer == subject:
+		arrow := "rose"
+		if e.V1 < e.V0 {
+			arrow = "fell"
+		}
+		return fmt.Sprintf("trust at %s %s %.3f -> %.3f", e.Node, arrow, e.V0, e.V1), true
+	case e.Plane == trace.PlaneDetect && about:
+		switch e.Kind {
+		case trace.KindEvidence:
+			return fmt.Sprintf("evidence at %s: observation %.3f with testimony trust %.3f",
+				e.Node, e.V0, e.V1), true
+		case trace.KindVerdict:
+			return fmt.Sprintf("verdict at %s: %s (detect %.3f, round %d)",
+				e.Node, e.Msg, e.V0, int(e.V1)), true
+		case trace.KindForged:
+			return fmt.Sprintf("forged-evidence conviction at %s", e.Node), true
+		}
+		return "", false
+	case e.Plane == trace.PlaneReputation && about:
+		return fmt.Sprintf("reputation vector about %s ingested at %s: %d passed, %d rejected by the deviation test",
+			e.Peer, e.Node, int(e.V0), int(e.V1)), true
+	case e.Plane == trace.PlaneEvidence && e.Node == subject:
+		return fmt.Sprintf("audit-log record %d sealed", uint64(e.V0)), true
+	}
+	return "", false
+}

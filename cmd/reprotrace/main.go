@@ -1,0 +1,128 @@
+// Command reprotrace makes run traces actionable (DESIGN.md §13). A
+// trace is the NDJSON event stream a traced run emits — manetsim
+// -trace, idsbench -trace, trustlab -trace, the experiment engine's
+// per-trial files, or manetd's GET /v1/campaigns/{id}?trace=1.
+//
+//	reprotrace diff a.ndjson b.ndjson     # first diverging event
+//	reprotrace stats run.ndjson           # per-plane counts, detection latency
+//	reprotrace explain -node 16 run.ndjson # the causal chain behind a conviction
+//
+// diff is the determinism debugger: two same-seed runs must produce
+// byte-identical traces, so the first diverging line localizes a
+// nondeterminism to the exact scheduler dispatch that exposed it —
+// the tool the golden corpus's "digest mismatch" verdict lacks.
+//
+// Exit status: 0 on success (diff: traces identical), 1 when diff finds
+// a divergence, 2 on usage or I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  reprotrace diff <a.ndjson> <b.ndjson>      first diverging event (exit 1 if any)
+  reprotrace stats <run.ndjson>              per-plane event counts and detection latencies
+  reprotrace explain -node <N> <run.ndjson>  causal chain behind node N's conviction
+
+"-" reads a trace from stdin.`)
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "diff":
+		return runDiff(args[1:])
+	case "stats":
+		err = runStats(args[1:])
+	case "explain":
+		err = runExplain(args[1:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "reprotrace: unknown subcommand %q\n", args[0])
+		usage(os.Stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprotrace:", err)
+		return 2
+	}
+	return 0
+}
+
+// open resolves a trace argument ("-" = stdin).
+func open(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	f, err := os.Open(path) //nolint:gosec // operator-supplied path
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// runDiff implements `reprotrace diff a b`: exit 0 when the traces are
+// byte-identical, 1 with the first divergence printed, 2 on error.
+func runDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "reprotrace: diff takes exactly two trace files")
+		return 2
+	}
+	a, err := open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprotrace:", err)
+		return 2
+	}
+	defer a.Close()
+	b, err := open(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprotrace:", err)
+		return 2
+	}
+	defer b.Close()
+	div, err := trace.Diff(a, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprotrace:", err)
+		return 2
+	}
+	if div == nil {
+		fmt.Println("traces identical: 0 divergences")
+		return 0
+	}
+	fmt.Println(div)
+	return 1
+}
+
+// runStats implements `reprotrace stats run.ndjson`.
+func runStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats takes exactly one trace file")
+	}
+	r, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	st, err := trace.ComputeStats(r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(st.Render())
+	return nil
+}

@@ -35,7 +35,8 @@ func main() {
 
 func run() error {
 	camp := cliutil.Bind(flag.CommandLine, 1, "random seed").
-		BindScenario("rounds-kind scenario preset or spec file (e.g. paper-figures)")
+		BindScenario("rounds-kind scenario preset or spec file (e.g. paper-figures)").
+		BindTrace("NDJSON run-trace output (trust updates + per-round detection; byte-stable only with -workers 1)")
 	var (
 		figure = flag.String("figure", "all", "which figure to regenerate: 1, 2, 3 or all")
 		nodes  = flag.Int("nodes", 16, "population size (paper: 16)")
@@ -73,6 +74,25 @@ func run() error {
 			fig3Counts = liarCounts
 		}
 		fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
+	}
+
+	// Tracing the rounds abstraction: one sink serves every figure task
+	// of the invocation (the Config doc explains the workers-1 caveat).
+	// Attached after the scenario override so a spec-derived cfg is
+	// traced too.
+	if camp.HasTrace() {
+		sink, closeTrace, err := camp.OpenTrace()
+		if err != nil {
+			return err
+		}
+		cfg.Trace = sink
+		defer func() {
+			if cerr := closeTrace(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "trustlab:", cerr)
+			} else {
+				fmt.Printf("trace: %s (%d events)\n", camp.Trace, sink.Events())
+			}
+		}()
 	}
 
 	render := func(t *metrics.Table) {

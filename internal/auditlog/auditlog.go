@@ -370,12 +370,23 @@ type Buffer struct {
 	recs []Record
 	base uint64 // sequence number of recs[0]
 	seal seal
+	// onSeal, when set, observes each sealed record's sequence number
+	// (the run-trace plane hooks here). It never fires on an unarmed
+	// buffer.
+	onSeal func(seq uint64)
 }
+
+// SetOnSeal installs an observer called with the sequence number of
+// every record sealed into the hash chain. Observation only.
+func (b *Buffer) SetOnSeal(fn func(seq uint64)) { b.onSeal = fn }
 
 // Append adds a record, sealing it when the buffer is armed.
 func (b *Buffer) Append(r Record) {
 	if b.seal.enabled {
 		b.seal.append(&r)
+		if b.onSeal != nil {
+			b.onSeal(b.NextSeq())
+		}
 	}
 	b.recs = append(b.recs, r)
 	if b.MaxLen > 0 && len(b.recs) > b.MaxLen {

@@ -85,7 +85,20 @@ type Run struct {
 	// budgets. Exact when runs execute one at a time (the smoke
 	// configuration); an upper bound when runs overlap.
 	Allocs uint64 `json:"allocs,omitempty"`
+	// TraceEvents is how many run-trace events the run emitted (0 when
+	// the spec requested no trace). The NDJSON itself is held out of the
+	// campaign snapshot — GET /v1/campaigns/{id}?trace=1&run=N streams it
+	// — so List/Get payloads stay small.
+	TraceEvents uint64 `json:"traceEvents,omitempty"`
+	// trace is the run's recorded NDJSON (nil when untraced). Unexported:
+	// served by the streaming endpoint, never marshaled into snapshots.
+	trace []byte
 }
+
+// Trace returns the run's recorded NDJSON trace (nil when the spec
+// requested none). The slice is append-only after the run finishes;
+// callers must not mutate it.
+func (r *Run) Trace() []byte { return r.trace }
 
 // Campaign is a submitted batch of scenario runs.
 type Campaign struct {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 // Submission errors beyond the quota pair (limiter.go).
@@ -84,6 +85,8 @@ type Manager struct {
 	quotaRejected atomic.Uint64
 	runs          atomic.Uint64
 	lastRunAllocs atomic.Uint64
+	tracedRuns    atomic.Uint64
+	traceEvents   atomic.Uint64
 	latency       histogram
 }
 
@@ -380,6 +383,8 @@ func (m *Manager) Stats() Stats {
 		Runs:          m.runs.Load(),
 		RunLatency:    m.latency.snapshot(),
 		LastRunAllocs: m.lastRunAllocs.Load(),
+		TracedRuns:    m.tracedRuns.Load(),
+		TraceEvents:   m.traceEvents.Load(),
 		Draining:      m.draining.Load(),
 	}
 }
@@ -520,11 +525,20 @@ func (m *Manager) executeRun(ctx context.Context, id string, snap *Campaign, i i
 	spec := snap.Specs[i/snap.Trials]
 	spec.Seed = run.Seed
 
+	// A spec that requests the run-trace plane records into memory; the
+	// NDJSON lands on the Run for the ?trace=1 streaming endpoint.
+	var sink trace.Sink
+	var rec *trace.Recorder
+	if spec.Trace != nil && spec.Trace.Enabled {
+		rec = &trace.Recorder{}
+		sink = rec
+	}
+
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	startMallocs := ms.Mallocs
 	start := time.Now()
-	res, err := scenario.RunContext(ctx, spec)
+	res, err := scenario.RunContextTraced(ctx, spec, sink)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms)
 	allocs := ms.Mallocs - startMallocs
@@ -532,9 +546,17 @@ func (m *Manager) executeRun(ctx context.Context, id string, snap *Campaign, i i
 	m.latency.observe(elapsed)
 	m.runs.Add(1)
 	m.lastRunAllocs.Store(allocs)
+	if rec != nil {
+		m.tracedRuns.Add(1)
+		m.traceEvents.Add(uint64(rec.Len())) //nolint:gosec // event count is non-negative
+	}
 	m.finishRun(id, i, func(r *Run) {
 		r.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		r.Allocs = allocs
+		if rec != nil {
+			r.trace = rec.NDJSON()
+			r.TraceEvents = uint64(rec.Len()) //nolint:gosec // event count is non-negative
+		}
 		switch {
 		case err != nil && ctx.Err() != nil:
 			r.State = StateCanceled

@@ -83,6 +83,10 @@ type Stats struct {
 	// LastRunAllocs is the malloc delta of the most recently finished
 	// run — the PR 6 allocation counter surfaced as a gauge.
 	LastRunAllocs uint64
+	// TracedRuns counts finished runs that carried the run-trace plane;
+	// TraceEvents sums the events they emitted.
+	TracedRuns  uint64
+	TraceEvents uint64
 	// Draining reports that the manager has stopped accepting work.
 	Draining bool
 }

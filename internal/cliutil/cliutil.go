@@ -13,9 +13,11 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiment"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 // Campaign holds the flag values every CLI shares: the root seed, the
@@ -25,6 +27,7 @@ type Campaign struct {
 	Seed     int64
 	Workers  int
 	Scenario string
+	Trace    string
 	fs       *flag.FlagSet
 }
 
@@ -42,6 +45,38 @@ func Bind(fs *flag.FlagSet, defaultSeed int64, seedUsage string) *Campaign {
 func (c *Campaign) BindScenario(usage string) *Campaign {
 	c.fs.StringVar(&c.Scenario, "scenario", "", usage)
 	return c
+}
+
+// BindTrace additionally registers the -trace flag: an NDJSON output
+// path for the run-trace plane (DESIGN.md §13). Empty = tracing off.
+func (c *Campaign) BindTrace(usage string) *Campaign {
+	c.fs.StringVar(&c.Trace, "trace", "", usage)
+	return c
+}
+
+// HasTrace reports whether a -trace destination was requested.
+func (c *Campaign) HasTrace() bool { return c.Trace != "" }
+
+// OpenTrace creates the -trace file and wraps it as a sink. The close
+// function surfaces both deferred write errors and the file close, so
+// call it (and check it) before declaring the trace complete.
+func (c *Campaign) OpenTrace() (*trace.Writer, func() error, error) {
+	f, err := os.Create(c.Trace) //nolint:gosec // operator-supplied path
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	sink := trace.NewWriter(f)
+	closeFn := func() error {
+		werr := sink.Err()
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace %s: %w", c.Trace, werr)
+		}
+		return nil
+	}
+	return sink, closeFn, nil
 }
 
 // FlagPassed reports whether the named flag was set explicitly on the

@@ -22,6 +22,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/reputation"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/trust"
 	"repro/internal/wire"
 )
@@ -98,6 +99,13 @@ type Config struct {
 	// Reputation enables recommendation gossip and Eq. 6/7 trust
 	// propagation.
 	Reputation ReputationConfig
+	// Trace, when non-nil, receives the run's trace events (DESIGN.md
+	// §13): scheduler dispatches, frame send/recv, HELLO/TC processing,
+	// trust updates, detect verdicts, reputation ingests and audit-log
+	// seals. Tracing is pure observation — a traced run is byte-identical
+	// to an untraced one in every digest — and nil (the default) costs
+	// one branch per potential event.
+	Trace trace.Sink
 }
 
 // Network is a complete simulated MANET.
@@ -113,6 +121,11 @@ type Network struct {
 	// store, reputation ledger and suspect-state slab shares it, so a
 	// node occupies the same slot everywhere and slabs stay compact.
 	index *addr.Index
+
+	// tracer is the run-trace emitter, nil when Config.Trace is nil.
+	// One tracer serves the whole network: the sim kernel is
+	// single-threaded, so the ordinal is a total order over the run.
+	tracer *trace.Tracer
 
 	ctrlSent, ctrlDelivered, ctrlDropped uint64
 }
@@ -135,12 +148,32 @@ func NewNetwork(cfg Config) *Network {
 		}
 	}
 	sched := sim.New(cfg.Seed)
-	return &Network{
+	w := &Network{
 		Sched:  sched,
 		Medium: radio.NewMedium(sched, cfg.Radio),
 		cfg:    cfg,
 		nodes:  make(map[addr.Node]*Node),
 		index:  addr.NewIndex(64),
+		tracer: trace.New(cfg.Trace, sched.Now),
+	}
+	sched.SetTracer(w.tracer)
+	return w
+}
+
+// Tracer returns the network's run-trace tracer (nil when tracing is
+// off) so attack choreography and custom scenario hooks can emit into
+// the same ordinal stream.
+func (w *Network) Tracer() *trace.Tracer { return w.tracer }
+
+// TraceEvents returns how many trace events the run emitted (0 with
+// tracing off).
+func (w *Network) TraceEvents() uint64 { return w.tracer.Count() }
+
+// traceSend emits a net/send event for a frame handed to the medium.
+func (w *Network) traceSend(from addr.Node, msg string) {
+	if w.tracer.On() {
+		w.tracer.Emit(trace.Event{Plane: trace.PlaneNet, Kind: trace.KindSend,
+			Node: from.String(), Msg: msg})
 	}
 }
 
@@ -234,8 +267,16 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 	olsrCfg := spec.OLSR
 	olsrCfg.Addr = id
 	router := olsr.New(olsrCfg, w.Sched, func(b []byte) {
+		w.traceSend(id, "olsr")
 		w.Medium.Send(id, addr.Broadcast, append([]byte{PayloadOLSR}, b...))
 	}, logs)
+	router.SetTracer(w.tracer)
+	if w.cfg.Evidence.Enabled && w.tracer.On() {
+		logs.SetOnSeal(func(seq uint64) {
+			w.tracer.Emit(trace.Event{Plane: trace.PlaneEvidence, Kind: trace.KindSeal,
+				Node: id.String(), V0: float64(seq)})
+		})
+	}
 
 	n := &Node{
 		ID:          id,
@@ -285,6 +326,14 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 		n.Trust = trust.NewStoreIndexed(params, w.index)
 		dcfg := *spec.Detector
 		dcfg.Self = id
+		dcfg.Tracer = w.tracer
+		if w.tracer.On() {
+			self := id.String()
+			n.Trust.SetOnUpdate(func(subject addr.Node, old, now float64) {
+				w.tracer.Emit(trace.Event{Plane: trace.PlaneTrust, Kind: trace.KindUpdate,
+					Node: self, Peer: subject.String(), V0: old, V1: now})
+			})
+		}
 		if w.cfg.Reputation.Enabled {
 			n.Rep = reputation.NewLedger(id, n.Trust, reputation.Config{
 				Deviation:      w.cfg.Reputation.Deviation,
@@ -293,6 +342,13 @@ func (w *Network) AddNode(spec NodeSpec) *Node {
 				NoFilter:       w.cfg.Reputation.NoFilter,
 				DishonestAfter: w.cfg.Reputation.DishonestAfter,
 			})
+			if w.tracer.On() {
+				self := id.String()
+				n.Rep.OnIngest = func(rec addr.Node, passed, failed int) {
+					w.tracer.Emit(trace.Event{Plane: trace.PlaneReputation, Kind: trace.KindIngest,
+						Node: self, Peer: rec.String(), V0: float64(passed), V1: float64(failed)})
+				}
+			}
 			dcfg.Bootstrap = &ledgerBootstrap{node: n}
 		}
 		if spec.AutoExclude {
@@ -393,6 +449,19 @@ func (n *Node) handleFrame(f radio.Frame) {
 		return
 	}
 	body := f.Payload[1:]
+	if w := n.net; w.tracer.On() {
+		var msg string
+		switch f.Payload[0] {
+		case PayloadOLSR:
+			msg = "olsr"
+		case PayloadCtrl:
+			msg = "ctrl"
+		case PayloadRecommend:
+			msg = "recommend"
+		}
+		w.tracer.Emit(trace.Event{Plane: trace.PlaneNet, Kind: trace.KindRecv,
+			Node: n.ID.String(), Peer: f.From.String(), Msg: msg})
+	}
 	switch f.Payload[0] {
 	case PayloadOLSR:
 		n.Router.HandlePacket(f.From, body)

@@ -124,6 +124,7 @@ func (n *Node) forwardCtrl(m *ctrlMsg) {
 		n.net.ctrlDropped++
 		return
 	}
+	n.net.traceSend(n.ID, "ctrl")
 	n.net.Medium.Send(n.ID, next, payload)
 }
 
@@ -207,6 +208,7 @@ func (n *Node) broadcastTreeHead(m *ctrlMsg) {
 		n.net.ctrlDropped++
 		return
 	}
+	n.net.traceSend(n.ID, "ctrl")
 	n.net.Medium.Send(n.ID, addr.Broadcast, payload)
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/logevent"
 	"repro/internal/signature"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/trust"
 )
 
@@ -241,6 +242,11 @@ type Config struct {
 	// bootstrapper (Eq. 6/7 over gossiped recommendations) instead of
 	// weighing the testimony from the cold default.
 	Bootstrap TrustBootstrapper
+	// Tracer, when non-nil, receives detect-plane run-trace events
+	// (DESIGN.md §13): one evidence event per observation of a finalized
+	// round, one verdict event per round, one forged event per
+	// forged-evidence conviction. Pure observation.
+	Tracer *trace.Tracer
 }
 
 // TrustBootstrapper supplies second-hand effective trust in a node the
@@ -805,6 +811,10 @@ func (d *Detector) ReportForgedEvidence(node addr.Node, detail string) {
 	c.lastRound = round
 	c.verdict = trust.Intruder
 	c.hasVerdict = true
+	if d.cfg.Tracer.On() {
+		d.cfg.Tracer.Emit(trace.Event{Plane: trace.PlaneDetect, Kind: trace.KindForged,
+			Node: d.cfg.Self.String(), Peer: node.String(), Msg: detail, V1: float64(round)})
+	}
 	if d.cfg.OnReport != nil {
 		d.cfg.OnReport(report)
 	}
@@ -947,6 +957,15 @@ func (d *Detector) finalize(inv *investigation) {
 	d.reports = append(d.reports, report)
 	if inv.round > c.lastRound {
 		c.lastRound = inv.round
+	}
+	if d.cfg.Tracer.On() {
+		self, suspect := d.cfg.Self.String(), inv.suspect.String()
+		for _, o := range obs {
+			d.cfg.Tracer.Emit(trace.Event{Plane: trace.PlaneDetect, Kind: trace.KindEvidence,
+				Node: self, Peer: suspect, Msg: o.Source.String(), V0: o.Evidence, V1: o.Trust})
+		}
+		d.cfg.Tracer.Emit(trace.Event{Plane: trace.PlaneDetect, Kind: trace.KindVerdict,
+			Node: self, Peer: suspect, Msg: verdict.String(), V0: detectVal, V1: float64(inv.round)})
 	}
 	// A forged-evidence conviction landed mid-round outranks any
 	// testimony aggregate — cryptographic first-hand evidence is final.

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/trust"
 )
 
@@ -40,6 +42,14 @@ type Config struct {
 	InitialTrustMin, InitialTrustMax float64
 	// Params are the trust-system constants.
 	Params trust.Params
+	// Trace, when non-nil, receives the run-trace events of the rounds
+	// abstraction (DESIGN.md §13): trust updates and per-round detection
+	// values, stamped with a synthetic clock of one second per round
+	// (rounds scenarios have no scheduler). Pure observation, like the
+	// packet plane's tracer: a traced figure regeneration is numerically
+	// identical to an untraced one. Figure fan-outs share one sink across
+	// parallel tasks, so traces are only byte-stable at -workers 1.
+	Trace trace.Sink `json:"-"`
 }
 
 // DefaultConfig returns the paper's §V setup.
@@ -67,6 +77,11 @@ type Population struct {
 	rng        *rand.Rand
 	cfg        Config
 	arena      *Arena
+
+	// tracer is the run-trace emitter (nil = off); round drives its
+	// synthetic clock — one second per investigation round.
+	tracer *trace.Tracer
+	round  int
 }
 
 // SetArena points the population at a worker-owned arena so consecutive
@@ -95,6 +110,16 @@ func NewPopulation(cfg Config) *Population {
 		cfg:      cfg,
 		arena:    new(Arena),
 	}
+	p.tracer = trace.New(cfg.Trace, func() time.Duration {
+		return time.Duration(p.round) * time.Second
+	})
+	if p.tracer.On() {
+		observer := p.Observer.String()
+		p.Store.SetOnUpdate(func(n addr.Node, old, now float64) {
+			p.tracer.Emit(trace.Event{Plane: trace.PlaneTrust, Kind: trace.KindUpdate,
+				Node: observer, Peer: n.String(), V0: old, V1: now})
+		})
+	}
 	for i := 2; i < cfg.Nodes; i++ {
 		p.Responders = append(p.Responders, addr.NodeAt(i))
 	}
@@ -120,6 +145,7 @@ func NewPopulation(cfg Config) *Population {
 // The observer's own first-hand observation of the contradiction (trust 1,
 // e = −1) is included per property 5 of §IV-A.
 func (p *Population) Round() float64 {
+	p.round++
 	obs := p.arena.Observations(len(p.Responders) + 1)
 	obs = append(obs, trust.Observation{Source: p.Observer, Trust: 1, Evidence: -1})
 	for _, r := range p.Responders {
@@ -154,6 +180,19 @@ func (p *Population) Round() float64 {
 		} else {
 			p.Store.Update(p.Attacker, []trust.Evidence{{Value: 1}})
 		}
+	}
+	if p.tracer.On() {
+		// The rounds abstraction has no per-suspect verdict machinery;
+		// the detection value itself is the round's verdict. Msg follows
+		// the packet plane's convention so reprotrace stats counts a
+		// negative (attack-confirming) round as a conviction signal.
+		msg := "well-behaving"
+		if detect < 0 {
+			msg = "intruder"
+		}
+		p.tracer.Emit(trace.Event{Plane: trace.PlaneDetect, Kind: trace.KindVerdict,
+			Node: p.Observer.String(), Peer: p.Attacker.String(), Msg: msg,
+			V0: detect, V1: float64(p.round)})
 	}
 	return detect
 }

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 // Scenario execution on the parallel engine. A single scenario is one
@@ -60,6 +63,62 @@ func (r *Runner) ScenarioTrialsContext(ctx context.Context, spec scenario.Spec, 
 		s := spec
 		s.Seed = TrialSeed(spec.Seed, i)
 		res, err := scenario.RunContext(ctx, s)
+		return outcome{res, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*scenario.Result, trials)
+	for i, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, o.err)
+		}
+		out[i] = o.res
+	}
+	return out, nil
+}
+
+// TraceFileName names trial i's NDJSON trace within a campaign's trace
+// directory. One function so the engine's writer and any reader
+// (reprotrace walkthroughs, CI smoke) agree on the layout.
+func TraceFileName(trial int) string { return fmt.Sprintf("trial-%03d.ndjson", trial) }
+
+// ScenarioTrialsTracedContext is ScenarioTrialsContext with the
+// run-trace plane on: each trial streams its events to
+// dir/TraceFileName(i). Trials still fan across the pool — traces are
+// per-trial files, so parallelism cannot interleave them, and each file
+// is byte-identical at any worker count (the per-run tracer ordinal is a
+// total order over that run alone). The directory is created if needed.
+func (r *Runner) ScenarioTrialsTracedContext(ctx context.Context, spec scenario.Spec, trials int, dir string) ([]*scenario.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: trace dir: %w", err)
+	}
+	type outcome struct {
+		res *scenario.Result
+		err error
+	}
+	results, err := mapTasksCtx(ctx, r.workerCount(), trials, func(i int) outcome {
+		s := spec
+		s.Seed = TrialSeed(spec.Seed, i)
+		path := filepath.Join(dir, TraceFileName(i))
+		f, err := os.Create(path) //nolint:gosec // operator-supplied directory
+		if err != nil {
+			return outcome{err: err}
+		}
+		sink := trace.NewWriter(f)
+		res, err := scenario.RunContextTraced(ctx, s, sink)
+		if err == nil {
+			err = sink.Err()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		return outcome{res, err}
 	})
 	if err != nil {

@@ -37,6 +37,7 @@ var detPackages = map[string]bool{
 	"repro/internal/mobility":   true,
 	"repro/internal/auditlog":   true,
 	"repro/internal/wire":       true,
+	"repro/internal/trace":      true,
 }
 
 // Deterministic reports whether the deterministic-package rules

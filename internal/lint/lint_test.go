@@ -79,8 +79,8 @@ func TestSuppressed(t *testing.T) {
 
 func TestDeterministicCatalog(t *testing.T) {
 	pkgs := DeterministicPackages()
-	if len(pkgs) != 11 {
-		t.Fatalf("catalog has %d packages, want 11: %v", len(pkgs), pkgs)
+	if len(pkgs) != 12 {
+		t.Fatalf("catalog has %d packages, want 12: %v", len(pkgs), pkgs)
 	}
 	for _, p := range pkgs {
 		if !Deterministic(p) {

@@ -39,6 +39,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("manetd_rejected_rate_limited_total", "Submissions rejected by the tenant token bucket.", st.RateLimited)
 	counter("manetd_rejected_quota_total", "Submissions rejected by the tenant concurrency quota.", st.QuotaRejected)
 	counter("manetd_runs_total", "Finished scenario runs across all campaigns.", st.Runs)
+	counter("manetd_traced_runs_total", "Finished runs that carried the run-trace plane.", st.TracedRuns)
+	counter("manetd_trace_events_total", "Run-trace events emitted across all traced runs.", st.TraceEvents)
 
 	writeLatency(&b, st.RunLatency)
 

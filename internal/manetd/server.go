@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +39,11 @@ type Config struct {
 	// WatchHeartbeat bounds how long a watch stream stays silent before
 	// re-emitting the current snapshot (default 15s; tests shorten it).
 	WatchHeartbeat time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (DESIGN.md
+	// §11). Off by default: the profiling surface leaks heap contents and
+	// symbol names, so it is opt-in (cmd/manetd's -pprof flag) and meant
+	// to stay behind the same trust boundary as the rest of the API.
+	EnablePprof bool
 }
 
 // Server is the manetd HTTP service: an http.Handler plus the campaign
@@ -63,6 +70,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// net/http/pprof registers on http.DefaultServeMux at init; the
+		// service runs its own mux, so the handlers are mounted explicitly.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -198,13 +214,19 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"campaigns": s.mgr.List(t)})
 }
 
-// handleGet implements GET /v1/campaigns/{id}: a JSON snapshot, or an
-// NDJSON update stream with ?watch=1 (or Accept: application/x-ndjson).
+// handleGet implements GET /v1/campaigns/{id}: a JSON snapshot, an
+// NDJSON update stream with ?watch=1 (or Accept: application/x-ndjson),
+// or — with ?trace=1 — the run-trace NDJSON of one finished run
+// (?run=N selects the run index, default 0; pipe it into reprotrace).
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	c, ok := s.mgr.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, campaign.ErrNotFound)
+		return
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		s.serveTrace(w, r, c)
 		return
 	}
 	watch := r.URL.Query().Get("watch") == "1" ||
@@ -214,6 +236,41 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stream(w, r, id)
+}
+
+// serveTrace streams one run's recorded NDJSON trace. 404 when the run
+// index is out of range; 409 when the run has not finished; 404 with an
+// explanatory body when the spec requested no trace.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request, c *campaign.Campaign) {
+	idx := 0
+	if q := r.URL.Query().Get("run"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad run index %q: %w", q, err))
+			return
+		}
+		idx = n
+	}
+	if idx < 0 || idx >= len(c.Runs) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("run %d outside campaign's %d runs", idx, len(c.Runs)))
+		return
+	}
+	run := &c.Runs[idx]
+	if !run.State.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("run %d is %s; traces stream once the run finishes", idx, run.State))
+		return
+	}
+	tr := run.Trace()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("run %d carries no trace: the spec did not set trace.enabled", idx))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(tr) // nothing useful to do about a broken client socket
 }
 
 // stream writes one compact JSON snapshot line per campaign update

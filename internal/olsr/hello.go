@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/auditlog"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -69,6 +70,10 @@ func (n *Node) sendHello() {
 	n.log(auditlog.KindHelloTx,
 		auditlog.FNodes("sym", syms),
 		auditlog.FInt("will", int(h.Will)))
+	if n.tracer.On() {
+		n.tracer.Emit(trace.Event{Plane: trace.PlaneOLSR, Kind: trace.KindHelloTx,
+			Node: n.cfg.Addr.String(), V0: float64(len(syms))})
+	}
 	n.broadcast(wire.Message{
 		VTime:      n.cfg.NeighborHold,
 		Originator: n.cfg.Addr,
@@ -195,6 +200,10 @@ func (n *Node) processHello(m *wire.Message, h *wire.Hello) {
 		auditlog.FNode("from", from),
 		auditlog.FNodes("sym", advertised.AppendSorted(n.nodeScratch[:0])),
 		auditlog.FInt("will", int(h.Will)))
+	if n.tracer.On() {
+		n.tracer.Emit(trace.Event{Plane: trace.PlaneOLSR, Kind: trace.KindHelloRx,
+			Node: n.cfg.Addr.String(), Peer: from.String(), V0: float64(len(advertised))})
+	}
 
 	n.afterTopologyChange()
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/auditlog"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -133,11 +134,12 @@ type dupTuple struct {
 
 // Node is one OLSR routing agent.
 type Node struct {
-	cfg   Config
-	sched *sim.Scheduler
-	send  func(payload []byte) // one-hop broadcast
-	logb  *auditlog.Buffer     // may be nil
-	hooks Hooks
+	cfg    Config
+	sched  *sim.Scheduler
+	send   func(payload []byte) // one-hop broadcast
+	logb   *auditlog.Buffer     // may be nil
+	hooks  Hooks
+	tracer *trace.Tracer // nil = tracing off
 
 	links        map[addr.Node]*linkTuple
 	twoHop       map[addr.Node]map[addr.Node]time.Duration // via -> node -> expiry
@@ -243,6 +245,10 @@ func (n *Node) Config() Config { return n.cfg }
 
 // SetHooks installs attack hooks. Must be called before Start.
 func (n *Node) SetHooks(h Hooks) { n.hooks = h }
+
+// SetTracer installs the run-trace tracer (nil = off). Emissions are
+// pure observation of protocol actions the node already took.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer = t }
 
 // Start registers the node's emission and housekeeping timers.
 func (n *Node) Start() {

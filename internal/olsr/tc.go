@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/auditlog"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -30,6 +31,10 @@ func (n *Node) sendTC() {
 	n.log(auditlog.KindTCTx,
 		auditlog.FInt("ansn", int(tc.ANSN)),
 		auditlog.FNodes("adv", tc.Advertised))
+	if n.tracer.On() {
+		n.tracer.Emit(trace.Event{Plane: trace.PlaneOLSR, Kind: trace.KindTCTx,
+			Node: n.cfg.Addr.String(), V0: float64(tc.ANSN), V1: float64(len(tc.Advertised))})
+	}
 	n.broadcast(wire.Message{
 		VTime:      n.cfg.TopologyHold,
 		Originator: n.cfg.Addr,
@@ -81,6 +86,10 @@ func (n *Node) processTC(sender addr.Node, m *wire.Message, tc *wire.TC) {
 		auditlog.FNode("orig", m.Originator),
 		auditlog.FInt("ansn", int(tc.ANSN)),
 		auditlog.FNodes("adv", slices.Compact(adv)))
+	if n.tracer.On() {
+		n.tracer.Emit(trace.Event{Plane: trace.PlaneOLSR, Kind: trace.KindTCRx,
+			Node: n.cfg.Addr.String(), Peer: m.Originator.String(), V0: float64(tc.ANSN)})
+	}
 
 	n.afterTopologyChange()
 }

@@ -130,6 +130,10 @@ type Ledger struct {
 	// failed the deviation test DishonestAfter times (fired once per
 	// recommender). The detector turns it into a signature alert.
 	OnDishonest func(rec addr.Node, detail string)
+	// OnIngest, when set, observes every processed vector with its
+	// deviation-test outcome (the run-trace plane hooks here). Both
+	// counts are zero for vectors with no testable entries.
+	OnIngest func(rec addr.Node, passed, failed int)
 
 	stats Stats
 }
@@ -259,6 +263,9 @@ func (l *Ledger) Ingest(recommender addr.Node, entries []Entry, now time.Duratio
 		} else {
 			*row = slices.Insert(*row, i, received{from: recommender, trust: e.Trust, at: now})
 		}
+	}
+	if l.OnIngest != nil {
+		l.OnIngest(recommender, passed, failed)
 	}
 	if l.cfg.NoFilter || passed+failed == 0 {
 		return // nothing testable: the recommender's standing is unchanged

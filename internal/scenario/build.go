@@ -15,6 +15,7 @@ import (
 	"repro/internal/olsr"
 	"repro/internal/radio"
 	"repro/internal/reputation"
+	"repro/internal/trace"
 	"repro/internal/trust"
 )
 
@@ -71,6 +72,16 @@ type Built struct {
 // attack-mix order, then the Custom hook runs; Start is left to the
 // caller (Run).
 func Build(spec Spec) (*Built, error) {
+	return BuildTraced(spec, nil)
+}
+
+// BuildTraced is Build with a run-trace sink (DESIGN.md §13) attached to
+// the network before any node exists, so the trace covers the whole run
+// from the first scheduler dispatch. A nil sink is exactly Build: the
+// network's tracer stays nil and every emission site reduces to one
+// predicted branch. Spec.Trace only *requests* tracing — this parameter
+// is where a runner supplies the destination.
+func BuildTraced(spec Spec, sink trace.Sink) (*Built, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -104,6 +115,7 @@ func Build(spec Spec) (*Built, error) {
 		Evidence:   evidence,
 		Reputation: repCfg,
 		BinaryCtrl: spec.BinaryCtrl,
+		Trace:      sink,
 		Radio: radio.Config{
 			Prop:      spec.radioProp(),
 			PropDelay: spec.Radio.PropDelay.D(),
@@ -635,6 +647,12 @@ func Run(spec Spec) (*Result, error) {
 	return RunContext(context.Background(), spec)
 }
 
+// RunTraced is Run with a run-trace sink. The Result is byte-identical
+// to an untraced run of the same spec — tracing is pure observation.
+func RunTraced(spec Spec, sink trace.Sink) (*Result, error) {
+	return RunContextTraced(context.Background(), spec, sink)
+}
+
 // RunContext is Run with cancellation: the event loop checks ctx at
 // every verdict-poll step (500ms of simulated time), so a campaign
 // service can abandon a long run without waiting for it to finish. A
@@ -642,7 +660,12 @@ func Run(spec Spec) (*Result, error) {
 // perturb a run that completes, because the check only ever aborts —
 // it never reorders or drops events.
 func RunContext(ctx context.Context, spec Spec) (*Result, error) {
-	b, err := Build(spec)
+	return RunContextTraced(ctx, spec, nil)
+}
+
+// RunContextTraced is RunContext with a run-trace sink (nil = untraced).
+func RunContextTraced(ctx context.Context, spec Spec, sink trace.Sink) (*Result, error) {
+	b, err := BuildTraced(spec, sink)
 	if err != nil {
 		return nil, err
 	}

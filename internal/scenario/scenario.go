@@ -218,6 +218,18 @@ type ReputationSpec struct {
 	DishonestAfter int `json:"dishonestAfter,omitempty"`
 }
 
+// TraceSpec requests the run-trace plane (DESIGN.md §13) for a scenario.
+// The spec only *requests* tracing — it names no destination, because a
+// sink is a runtime object (a file, a campaign recorder), not data. The
+// runner that executes the spec decides where events go: manetd attaches
+// an in-memory recorder when Enabled, the experiment engine a per-trial
+// NDJSON file, and the CLIs whatever -trace names. Tracing is pure
+// observation, so a traced run's digest is byte-identical to an untraced
+// one — the flag changes no goldens.
+type TraceSpec struct {
+	Enabled bool `json:"enabled"`
+}
+
 // RoundsSpec parameterizes a rounds-kind scenario (the §V round-based
 // abstraction behind Figures 1-3; see experiment.Config).
 type RoundsSpec struct {
@@ -280,6 +292,8 @@ type Spec struct {
 	Evidence *EvidenceSpec `json:"evidence,omitempty"`
 	// Reputation enables recommendation gossip and trust propagation.
 	Reputation *ReputationSpec `json:"reputation,omitempty"`
+	// Trace requests the run-trace plane; the runner picks the sink.
+	Trace *TraceSpec `json:"trace,omitempty"`
 	// BinaryCtrl switches the control-plane envelope to the binary
 	// codec (core.Config.BinaryCtrl). Off by default: the JSON envelope
 	// is what the golden corpus's byte counts pin.

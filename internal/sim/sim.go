@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Event is a scheduled callback. The zero value is not useful; create events
@@ -84,7 +86,15 @@ type Scheduler struct {
 	rng    *rand.Rand
 	ran    uint64
 	free   []*Event // recycled AfterCall events
+	tracer *trace.Tracer
 }
+
+// SetTracer installs the run-trace tracer (nil = off). Dispatch events
+// are pure observation: they are emitted after the clock has advanced
+// and the run counter has been bumped, draw no randomness, and schedule
+// nothing — a traced run executes exactly the events an untraced run
+// does.
+func (s *Scheduler) SetTracer(t *trace.Tracer) { s.tracer = t }
 
 // New returns a scheduler whose random source is seeded with seed.
 func New(seed int64) *Scheduler {
@@ -187,6 +197,10 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = e.at
 		s.ran++
+		if s.tracer.On() {
+			s.tracer.Emit(trace.Event{Plane: trace.PlaneSched, Kind: trace.KindDispatch,
+				V0: float64(e.seq)})
+		}
 		if e.pooled {
 			fn, arg := e.fnArg, e.arg
 			*e = Event{}

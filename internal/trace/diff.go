@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Divergence describes the first point where two traces disagree. At
+// most one of A/B is nil (the shorter trace ran out).
+type Divergence struct {
+	// Line is the 1-based line number of the divergence.
+	Line int
+	// ARaw and BRaw are the diverging lines as read ("" at EOF).
+	ARaw, BRaw string
+	// A and B are the decoded events, nil when the line was missing or
+	// undecodable.
+	A, B *Event
+}
+
+// String renders the divergence for humans.
+func (d *Divergence) String() string {
+	describe := func(raw string, e *Event) string {
+		switch {
+		case raw == "":
+			return "<end of trace>"
+		case e == nil:
+			return raw
+		default:
+			return fmt.Sprintf("ord=%d t=%s %s/%s node=%s peer=%s msg=%q v0=%g v1=%g",
+				e.Ord, e.T, e.Plane, e.Kind, e.Node, e.Peer, e.Msg, e.V0, e.V1)
+		}
+	}
+	return fmt.Sprintf("first divergence at line %d:\n  a: %s\n  b: %s",
+		d.Line, describe(d.ARaw, d.A), describe(d.BRaw, d.B))
+}
+
+// Diff streams two NDJSON traces and returns the first line where they
+// differ byte-for-byte, or nil when the traces are identical. Blank
+// lines count like any other — the comparison is over the exact bytes
+// two runs produced, which is the determinism contract.
+func Diff(a, b io.Reader) (*Divergence, error) {
+	sa := newLineReader(a)
+	sb := newLineReader(b)
+	for line := 1; ; line++ {
+		la, oka, err := sa.next()
+		if err != nil {
+			return nil, fmt.Errorf("trace a: %w", err)
+		}
+		lb, okb, err := sb.next()
+		if err != nil {
+			return nil, fmt.Errorf("trace b: %w", err)
+		}
+		if !oka && !okb {
+			return nil, nil
+		}
+		if oka && okb && bytes.Equal(la, lb) {
+			continue
+		}
+		d := &Divergence{Line: line}
+		if oka {
+			d.ARaw = string(la)
+			if e, err := DecodeLine(la); err == nil {
+				d.A = &e
+			}
+		}
+		if okb {
+			d.BRaw = string(lb)
+			if e, err := DecodeLine(lb); err == nil {
+				d.B = &e
+			}
+		}
+		return d, nil
+	}
+}
+
+// lineReader yields raw lines with a large buffer, distinguishing EOF
+// from errors.
+type lineReader struct {
+	s *bufio.Scanner
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), maxLine)
+	return &lineReader{s: s}
+}
+
+func (lr *lineReader) next() ([]byte, bool, error) {
+	if lr.s.Scan() {
+		return lr.s.Bytes(), true, nil
+	}
+	return nil, false, lr.s.Err()
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// FuzzEventRoundTrip pins the NDJSON codec: for any event with valid
+// UTF-8 strings and finite floats, encode→decode is the identity, and
+// the encoded line is valid JSON. Invalid UTF-8 is normalized to
+// U+FFFD (like encoding/json), so those inputs assert idempotence
+// after one normalization pass instead of strict identity.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(0), "sched", "dispatch", "", "", "", 0.0, 0.0)
+	f.Add(uint64(42), int64(time.Second), "trust", "update", "10.0.0.1", "10.0.0.2", "", 0.4, 0.38)
+	f.Add(uint64(math.MaxUint64), int64(-1), "p\"l", "k\\d", "日本", "a\nb", "c\x00d", -1e300, 1e-300)
+	f.Fuzz(func(t *testing.T, ord uint64, tns int64, plane, kind, node, peer, msg string, v0, v1 float64) {
+		if math.IsNaN(v0) || math.IsInf(v0, 0) || math.IsNaN(v1) || math.IsInf(v1, 0) {
+			t.Skip("non-finite floats are outside the codec contract")
+		}
+		e := Event{Ord: ord, T: time.Duration(tns), Plane: plane, Kind: kind,
+			Node: node, Peer: peer, Msg: msg, V0: v0, V1: v1}
+		line := e.AppendNDJSON(nil)
+		trimmed := bytes.TrimSuffix(line, []byte("\n"))
+		if !json.Valid(trimmed) {
+			t.Fatalf("encoder produced invalid JSON: %q", line)
+		}
+		got, err := DecodeLine(trimmed)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v (%q)", err, line)
+		}
+		allValid := utf8.ValidString(plane) && utf8.ValidString(kind) &&
+			utf8.ValidString(node) && utf8.ValidString(peer) && utf8.ValidString(msg)
+		if allValid {
+			if got != e {
+				t.Fatalf("round trip: got %+v want %+v", got, e)
+			}
+			return
+		}
+		// Normalized path: a second encode of the decoded event must be
+		// byte-identical (the codec is idempotent past one pass).
+		line2 := got.AppendNDJSON(nil)
+		got2, err := DecodeLine(bytes.TrimSuffix(line2, []byte("\n")))
+		if err != nil {
+			t.Fatalf("decode of normalized encoding failed: %v", err)
+		}
+		if got2 != got {
+			t.Fatalf("normalization not idempotent: %+v vs %+v", got2, got)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Recorder is an in-memory sink: events accumulate as NDJSON bytes and
+// as decoded values. It is what the campaign service and the root
+// golden tests use — a run's whole trace held for later streaming or
+// comparison. Not synchronized; one Recorder serves one run.
+type Recorder struct {
+	buf    []byte
+	events int
+}
+
+// Event implements Sink.
+func (r *Recorder) Event(e Event) {
+	r.buf = e.AppendNDJSON(r.buf)
+	r.events++
+}
+
+// NDJSON returns the accumulated trace bytes. The slice is the
+// recorder's own buffer — copy before mutating or recording further.
+func (r *Recorder) NDJSON() []byte { return r.buf }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return r.events }
+
+// Writer is a streaming sink over an io.Writer: each event is encoded
+// into a reused scratch buffer and written as one NDJSON line. It is
+// mutex-guarded so parallel trials may share one Writer (the lines then
+// interleave by completion order — only single-writer traces are
+// byte-stable across runs; see DESIGN.md §13).
+type Writer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	scratch []byte
+	events  uint64
+	err     error
+}
+
+// NewWriter wraps w as a sink.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Event implements Sink. The first write error is retained and
+// surfaces from Err; subsequent events are dropped.
+func (s *Writer) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.scratch = e.AppendNDJSON(s.scratch[:0])
+	if _, err := s.w.Write(s.scratch); err != nil {
+		s.err = err
+		return
+	}
+	s.events++
+}
+
+// Err returns the first write error, if any.
+func (s *Writer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Events returns how many events were written.
+func (s *Writer) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}

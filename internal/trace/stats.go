@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Detection summarizes one conviction found in a trace: when the
+// detect plane first touched the suspect and when the intruder verdict
+// landed. Latency is the paper's core temporal observable — rounds
+// until conviction — surfaced per node.
+type Detection struct {
+	// Node is the convicted suspect (dotted quad).
+	Node string `json:"node"`
+	// By is the convicting investigator, when the trace recorded one.
+	By string `json:"by,omitempty"`
+	// FirstSuspectNS is the sim time (ns) of the first detect-plane
+	// event about the suspect; VerdictNS the conviction time.
+	FirstSuspectNS int64 `json:"firstSuspectNs"`
+	VerdictNS      int64 `json:"verdictNs"`
+	// LatencyNS is VerdictNS - FirstSuspectNS.
+	LatencyNS int64 `json:"latencyNs"`
+	// Rounds is the investigation round that convicted (0 when the
+	// conviction carried no round, e.g. a forged-evidence verdict).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Stats aggregates one trace: event counts per plane and per
+// plane/kind, the covered sim-time span, and detection latencies.
+type Stats struct {
+	Events int `json:"events"`
+	// FirstNS and LastNS bound the covered sim time in nanoseconds.
+	FirstNS int64 `json:"firstNs"`
+	LastNS  int64 `json:"lastNs"`
+	// Planes counts events per plane; Kinds per "plane/kind".
+	Planes map[string]int `json:"planes"`
+	Kinds  map[string]int `json:"kinds"`
+	// Detections lists convictions in trace order.
+	Detections []Detection `json:"detections,omitempty"`
+	// MeanLatencyNS averages the detection latencies (0 when none).
+	MeanLatencyNS int64 `json:"meanLatencyNs,omitempty"`
+}
+
+// ComputeStats streams a trace and aggregates it.
+func ComputeStats(r io.Reader) (*Stats, error) {
+	st := &Stats{
+		Planes: make(map[string]int),
+		Kinds:  make(map[string]int),
+	}
+	firstDetect := make(map[string]time.Duration) // suspect -> first detect-plane touch
+	sc := NewScanner(r)
+	for {
+		e, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if st.Events == 0 || int64(e.T) < st.FirstNS {
+			st.FirstNS = int64(e.T)
+		}
+		if int64(e.T) > st.LastNS {
+			st.LastNS = int64(e.T)
+		}
+		st.Events++
+		st.Planes[e.Plane]++
+		st.Kinds[e.Plane+"/"+e.Kind]++
+		if e.Plane != PlaneDetect {
+			continue
+		}
+		// The suspect is the Peer of detect events (the investigator is
+		// Node); fall back to Node for foreign traces.
+		suspect := e.Peer
+		if suspect == "" {
+			suspect = e.Node
+		}
+		if _, seen := firstDetect[suspect]; !seen {
+			firstDetect[suspect] = e.T
+		}
+		convicted := (e.Kind == KindVerdict && e.Msg == "intruder") || e.Kind == KindForged
+		if !convicted {
+			continue
+		}
+		d := Detection{
+			Node:           suspect,
+			By:             e.Node,
+			FirstSuspectNS: int64(firstDetect[suspect]),
+			VerdictNS:      int64(e.T),
+			Rounds:         int(e.V1),
+		}
+		d.LatencyNS = d.VerdictNS - d.FirstSuspectNS
+		st.Detections = append(st.Detections, d)
+	}
+	if n := len(st.Detections); n > 0 {
+		var sum int64
+		for _, d := range st.Detections {
+			sum += d.LatencyNS
+		}
+		st.MeanLatencyNS = sum / int64(n)
+	}
+	return st, nil
+}
+
+// Render formats the stats as the text report `reprotrace stats`
+// prints: totals, the per-plane/kind breakdown sorted by name, and a
+// detection-latency table when the trace recorded convictions.
+func (st *Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d over %s .. %s\n",
+		st.Events, time.Duration(st.FirstNS), time.Duration(st.LastNS))
+	kinds := make([]string, 0, len(st.Kinds))
+	for k := range st.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-22s %d\n", k, st.Kinds[k])
+	}
+	if len(st.Detections) == 0 {
+		b.WriteString("detections: none\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "detections: %d (mean latency %s)\n",
+		len(st.Detections), time.Duration(st.MeanLatencyNS))
+	for _, d := range st.Detections {
+		by := d.By
+		if by == "" {
+			by = "?"
+		}
+		fmt.Fprintf(&b, "  node %-15s convicted by %-15s at %-10s latency %-10s round %d\n",
+			d.Node, by, time.Duration(d.VerdictNS), time.Duration(d.LatencyNS), d.Rounds)
+	}
+	return b.String()
+}

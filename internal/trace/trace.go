@@ -1,0 +1,129 @@
+// Package trace is the deterministic run-trace plane (DESIGN.md §13):
+// typed events emitted by the sim kernel and every protocol plane,
+// stamped with sim time and a monotonic ordinal, serialized as NDJSON.
+//
+// Tracing is pure observation. Emitting an event draws no randomness,
+// schedules nothing, and reads nothing but values the emitter already
+// computed — so a traced run and an untraced run of the same scenario
+// are byte-identical in every digest, and two traced runs of the same
+// seed produce byte-identical NDJSON (the property `reprotrace diff`
+// turns into a debugging tool: the first diverging line of two traces
+// is the first diverging decision of two runs).
+//
+// The off path is a nil check: planes hold a *Tracer that is nil when
+// no sink is configured, and every method is nil-receiver-safe, so an
+// untraced run pays one predictable branch per potential event and
+// allocates nothing. The package is part of the reprolint deterministic
+// set — no wall clock, no global RNG.
+package trace
+
+import "time"
+
+// Planes, one per emitting subsystem. The plane plus Kind identify an
+// event type; DESIGN.md §13 is the taxonomy of record.
+const (
+	PlaneSched      = "sched"      // scheduler dispatch
+	PlaneNet        = "net"        // frame send/recv by wire type
+	PlaneOLSR       = "olsr"       // HELLO/TC emission and processing
+	PlaneTrust      = "trust"      // Eq. 5 trust updates
+	PlaneDetect     = "detect"     // investigation verdicts and evidence
+	PlaneReputation = "reputation" // recommendation ingest outcomes
+	PlaneEvidence   = "evidence"   // audit-log seals
+)
+
+// Event kinds, grouped by plane.
+const (
+	KindDispatch = "dispatch" // sched: one event ran; V0 = scheduler seq
+
+	KindSend = "send" // net: frame handed to the medium; Msg = wire type
+	KindRecv = "recv" // net: frame delivered; Msg = wire type
+
+	KindHelloTx = "hello_tx" // olsr: HELLO emitted; V0 = advertised sym count
+	KindHelloRx = "hello_rx" // olsr: HELLO processed; Peer = originator
+	KindTCTx    = "tc_tx"    // olsr: TC originated; V0 = ANSN
+	KindTCRx    = "tc_rx"    // olsr: TC processed; Peer = originator, V0 = ANSN
+
+	KindUpdate = "update" // trust: Peer's value moved; V0 = old, V1 = new
+
+	KindVerdict  = "verdict"  // detect: round decided; Msg = verdict, V0 = detect value, V1 = round
+	KindEvidence = "evidence" // detect: one observation of a round; V0 = evidence, V1 = trust
+	KindForged   = "forged"   // detect: forged-evidence conviction
+
+	KindIngest = "ingest" // reputation: vector ingested; V0 = passed, V1 = failed
+
+	KindSeal = "seal" // evidence: record sealed; V0 = record seq
+)
+
+// Event is one trace record. Node and Peer carry dotted-quad addresses
+// (addr.Node.String interns them, so stamping is allocation-free); V0
+// and V1 are kind-specific numeric payloads. The zero value of every
+// optional field is omitted from the NDJSON rendering, and a missing
+// NDJSON field decodes back to the zero value, so encode→decode is
+// exact (fuzz_test.go pins it).
+type Event struct {
+	// Ord is the monotonic per-run ordinal (1-based): the total order of
+	// everything the run emitted, independent of sim-time ties.
+	Ord uint64 `json:"ord"`
+	// T is the sim time of the event in nanoseconds.
+	T     time.Duration `json:"t"`
+	Plane string        `json:"plane"`
+	Kind  string        `json:"kind"`
+	// Node is the acting node; Peer the counterpart (originator, subject,
+	// responder — kind-specific).
+	Node string `json:"node,omitempty"`
+	Peer string `json:"peer,omitempty"`
+	// Msg disambiguates within a kind (wire type, verdict name, trigger).
+	Msg string  `json:"msg,omitempty"`
+	V0  float64 `json:"v0,omitempty"`
+	V1  float64 `json:"v1,omitempty"`
+}
+
+// Sink receives emitted events. Implementations used inside a single
+// simulation need no locking — the sim kernel is single-threaded — but
+// a sink shared across parallel runs (one Writer fed by several trials)
+// must synchronize itself, as Writer does.
+type Sink interface {
+	Event(e Event)
+}
+
+// Tracer stamps events with sim time and the run's monotonic ordinal
+// and forwards them to the sink. A nil *Tracer is the off state: every
+// method is a nil-receiver no-op, so emit sites guard with On() (or
+// just call Emit) and pay one branch when tracing is off.
+type Tracer struct {
+	sink Sink
+	now  func() time.Duration
+	ord  uint64
+}
+
+// New binds a sink to a sim clock. A nil sink yields a nil tracer —
+// the off state — so callers thread cfg.Trace through unconditionally.
+func New(sink Sink, now func() time.Duration) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, now: now}
+}
+
+// On reports whether tracing is active; use it to skip building an
+// event whose fields are not already at hand.
+func (t *Tracer) On() bool { return t != nil }
+
+// Emit stamps Ord and T and forwards the event. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.ord++
+	e.Ord = t.ord
+	e.T = t.now()
+	t.sink.Event(e)
+}
+
+// Count returns how many events this tracer has emitted.
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ord
+}

@@ -159,7 +159,16 @@ type Store struct {
 	vals  []float64
 	state []uint8
 	known int // slots with state != slotAbsent
+	// onUpdate, when set, observes every Eq. 5 update (the run-trace
+	// plane hooks here). Nil-guarded on the hot path: an unhooked store
+	// pays one branch and the alloc ceilings are untouched.
+	onUpdate func(n addr.Node, old, now float64)
 }
+
+// SetOnUpdate installs an observer for Eq. 5 updates: it receives the
+// subject, the trust before the update, and the clamped value after.
+// Observation only — the hook must not call back into the store.
+func (s *Store) SetOnUpdate(fn func(n addr.Node, old, now float64)) { s.onUpdate = fn }
 
 // NewStore creates a store with the given parameters and a private
 // node index.
@@ -281,11 +290,15 @@ func (s *Store) Update(n addr.Node, evidence []Evidence) float64 {
 		}
 		sum += w * ev.Value
 	}
-	v := s.params.clamp(sum + s.params.Beta*s.Get(n))
+	old := s.Get(n)
+	v := s.params.clamp(sum + s.params.Beta*old)
 	// First-hand evidence arrived: the relationship is no longer a mere
 	// propagated seed (the seed still shaped the prior through Get, as
 	// intended — it just stops masquerading as our own observation).
 	s.setState(n, v, slotFirstHand)
+	if s.onUpdate != nil {
+		s.onUpdate(n, old, v)
+	}
 	return v
 }
 
